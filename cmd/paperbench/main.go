@@ -1,0 +1,214 @@
+// Command paperbench regenerates the paper's tables and figures on the
+// simulated machine. Select artifacts with -fig / -table, or run the
+// whole evaluation with -all.
+//
+//	paperbench -fig 4              # Figure 4 runtime breakdowns
+//	paperbench -fig 8 -app em3d    # Figure 8 bisection sweep for EM3D
+//	paperbench -all -scale sweep   # everything, at sweep scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	fig := flag.Int("fig", 0, "figure number to regenerate (1-10; 6 is the topology diagram)")
+	table := flag.Int("table", 0, "table number to regenerate (1 or 2)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	appFlag := flag.String("app", "", "restrict sweep figures to one app (default: all four)")
+	scaleName := flag.String("scale", "", "workload scale override (tiny, sweep, default, full)")
+	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	modelCmp := flag.Bool("model", false, "print the analytical model vs simulator comparison")
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s"+"\n", f.Name())
+	}
+
+	out := os.Stdout
+	cfg := machine.DefaultConfig()
+
+	appsToRun := core.AppNames
+	if *appFlag != "" {
+		appsToRun = []core.AppName{core.AppName(*appFlag)}
+	}
+	scOr := func(def core.Scale) core.Scale {
+		switch *scaleName {
+		case "tiny":
+			return core.ScaleTiny
+		case "sweep":
+			return core.ScaleSweep
+		case "default":
+			return core.ScaleDefault
+		case "full":
+			return core.ScaleFull
+		}
+		return def
+	}
+
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	want := func(n int) bool { return *all || *fig == n }
+	sep := func() {
+		fmt.Fprintln(out, "\n----------------------------------------------------------------")
+	}
+
+	ranSomething := false
+
+	if want(3) {
+		ranSomething = true
+		mp := figures.PrintFig3(out, cfg)
+		writeCSV("fig3_miss_penalties.csv", func(w *os.File) error {
+			return figures.WriteMissPenaltiesCSV(w, mp)
+		})
+		sep()
+	}
+	var fig4rows []figures.Fig4Row
+	if want(4) || want(5) {
+		ranSomething = true
+		rows, err := figures.Fig4Data(scOr(core.ScaleDefault), cfg)
+		check(err)
+		fig4rows = rows
+	}
+	if want(4) {
+		figures.PrintFig4(out, fig4rows)
+		writeCSV("fig4_breakdowns.csv", func(w *os.File) error {
+			return figures.WriteFig4CSV(w, fig4rows)
+		})
+		sep()
+	}
+	if want(5) {
+		figures.PrintFig5(out, fig4rows)
+		sep()
+	}
+	if want(6) {
+		ranSomething = true
+		fmt.Fprintln(out, "Figure 6: cross-traffic topology — I/O nodes on both edge columns of the")
+		fmt.Fprintln(out, "8x4 mesh stream messages across the bisection in both directions; see")
+		fmt.Fprintln(out, "internal/mesh (StartCrossTraffic) and its tests for the geometry.")
+		sep()
+	}
+	if want(7) {
+		ranSomething = true
+		for _, app := range appsToRun[:1] { // the paper shows one app here
+			_, err := figures.Fig7(out, app, scOr(core.ScaleSweep), cfg, 10,
+				[]int{16, 32, 64, 128, 256})
+			check(err)
+		}
+		sep()
+	}
+	var fig8 map[core.AppName][]core.SweepPoint
+	if want(8) || want(1) {
+		ranSomething = true
+		fig8 = map[core.AppName][]core.SweepPoint{}
+		for _, app := range appsToRun {
+			pts, err := figures.Fig8(out, app, scOr(core.ScaleSweep), cfg,
+				[]float64{0, 4, 8, 12, 14, 16})
+			check(err)
+			fig8[app] = pts
+			app := app
+			writeCSV(fmt.Sprintf("fig8_%s.csv", app), func(w *os.File) error {
+				return figures.WriteSweepCSV(w, "bisection_bytes_per_cycle", apps.Mechanisms, pts)
+			})
+			fmt.Fprintln(out)
+		}
+		sep()
+	}
+	if want(1) {
+		for _, app := range appsToRun {
+			fmt.Fprintf(out, "[%s] ", app)
+			figures.Fig1(out, fig8[app], []apps.Mechanism{apps.SM, apps.MPPoll})
+		}
+		sep()
+	}
+	if want(9) {
+		ranSomething = true
+		for _, app := range appsToRun {
+			pts, err := figures.Fig9(out, app, scOr(core.ScaleSweep), cfg,
+				[]float64{20, 18, 16, 14})
+			check(err)
+			app := app
+			writeCSV(fmt.Sprintf("fig9_%s.csv", app), func(w *os.File) error {
+				return figures.WriteSweepCSV(w, "net_latency_cycles", apps.Mechanisms, pts)
+			})
+			fmt.Fprintln(out)
+		}
+		sep()
+	}
+	var fig10 map[core.AppName][]core.SweepPoint
+	if want(10) || want(2) {
+		ranSomething = true
+		fig10 = map[core.AppName][]core.SweepPoint{}
+		for _, app := range appsToRun {
+			pts, err := figures.Fig10(out, app, scOr(core.ScaleSweep), cfg,
+				[]int64{15, 25, 50, 100, 200})
+			check(err)
+			fig10[app] = pts
+			app := app
+			writeCSV(fmt.Sprintf("fig10_%s.csv", app), func(w *os.File) error {
+				return figures.WriteSweepCSV(w, "one_way_latency_cycles", apps.Mechanisms, pts)
+			})
+			fmt.Fprintln(out)
+		}
+		sep()
+	}
+	if want(2) {
+		for _, app := range appsToRun {
+			fmt.Fprintf(out, "[%s] ", app)
+			figures.Fig2(out, fig10[app], []apps.Mechanism{apps.SM, apps.SMPrefetch, apps.MPPoll})
+		}
+		sep()
+	}
+	if *modelCmp || *all {
+		ranSomething = true
+		for _, app := range appsToRun {
+			if _, err := figures.PrintModelComparison(out, app, scOr(core.ScaleSweep), cfg,
+				[]int64{15, 50, 100, 200}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(out)
+		}
+		figures.PrintLogP(out, cfg)
+		sep()
+	}
+	if *all || *table == 1 || *table == 2 {
+		ranSomething = true
+		fmt.Fprintln(out, "Tables 1 and 2 are printed by the `machines` command:")
+		fmt.Fprintln(out, "  go run ./cmd/machines            # Table 1")
+		fmt.Fprintln(out, "  go run ./cmd/machines -relative  # Table 2")
+	}
+	if !ranSomething {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,44 @@
+// Bisection: reproduce the Figure 8 experiment for one application —
+// inject I/O cross-traffic to emulate machines with lower bisection
+// bandwidth, and find the shared-memory / message-passing crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := repro.EM3D
+	mechs := []repro.Mechanism{repro.SM, repro.SMPrefetch, repro.MPPoll}
+	fmt.Printf("Bisection sweep for %s (cross-traffic emulation, 64-byte messages)\n\n", app)
+
+	pts, err := repro.BisectionSweep(app, mechs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s", "bisection (bytes/cyc)")
+	for _, m := range mechs {
+		fmt.Printf("%12s", m.Short())
+	}
+	fmt.Println()
+	for _, pt := range pts {
+		fmt.Printf("%-22.1f", pt.X)
+		for _, m := range mechs {
+			fmt.Printf("%12d", pt.Results[m].Cycles)
+		}
+		fmt.Println()
+	}
+
+	if x, ok := repro.Crossover(pts, repro.SM, repro.MPPoll); ok {
+		fmt.Printf("\nshared memory crosses message passing at ~%.1f bytes/cycle\n", x)
+		fmt.Println("(Alewife sits at 18; the paper notes DASH- and FLASH-class meshes approach the crossover)")
+	} else {
+		fmt.Println("\nno crossover in the swept range")
+	}
+}

@@ -1,0 +1,55 @@
+// Latency: reproduce the Figure 9 and Figure 10 experiments — vary the
+// relative network latency first by scaling the processor clock against
+// the asynchronous network, then by emulating an ideal uniform-latency
+// network for shared memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	app := repro.EM3D
+	mechs := []repro.Mechanism{repro.SM, repro.SMPrefetch, repro.MPPoll}
+
+	fmt.Printf("Figure 9-style clock scaling for %s (20 -> 14 MHz, fixed network):\n\n", app)
+	pts, err := repro.ClockSweep(app, mechs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSeries("net latency (cycles)", mechs, pts)
+
+	fmt.Printf("\nFigure 10-style uniform-latency emulation for %s:\n", app)
+	fmt.Println("(message-passing rows are fixed references, as in the paper)")
+	fmt.Println()
+	pts, err = repro.LatencySweep(app, mechs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSeries("one-way latency (cyc)", mechs, pts)
+
+	first, last := pts[0], pts[len(pts)-1]
+	smGrowth := float64(last.Results[repro.SM].Cycles) / float64(first.Results[repro.SM].Cycles)
+	pfGrowth := float64(last.Results[repro.SMPrefetch].Cycles) / float64(first.Results[repro.SMPrefetch].Cycles)
+	fmt.Printf("\nfrom %.0f to %.0f cycles one-way: SM slows %.2fx, SM+prefetch %.2fx, MP unchanged\n",
+		first.X, last.X, smGrowth, pfGrowth)
+}
+
+func printSeries(xlabel string, mechs []repro.Mechanism, pts []repro.SweepPoint) {
+	fmt.Printf("%-22s", xlabel)
+	for _, m := range mechs {
+		fmt.Printf("%12s", m.Short())
+	}
+	fmt.Println()
+	for _, pt := range pts {
+		fmt.Printf("%-22.1f", pt.X)
+		for _, m := range mechs {
+			fmt.Printf("%12d", pt.Results[m].Cycles)
+		}
+		fmt.Println()
+	}
+}

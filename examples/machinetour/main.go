@@ -1,0 +1,90 @@
+// Machinetour: place the paper's Table 1 machines on the measured
+// sensitivity curves — which published designs sit near the shared-memory
+// / message-passing crossover the paper warns about?
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/machines"
+)
+
+// kneeAt interpolates the X at which SM runtime reaches ratio times its
+// native (first-point) value, scanning from high bandwidth down.
+func kneeAt(pts []repro.SweepPoint, ratio float64) float64 {
+	base := float64(pts[0].Results[repro.SM].Cycles)
+	for i := 1; i < len(pts); i++ {
+		r0 := float64(pts[i-1].Results[repro.SM].Cycles) / base
+		r1 := float64(pts[i].Results[repro.SM].Cycles) / base
+		if r1 >= ratio && r0 < ratio {
+			frac := (ratio - r0) / (r1 - r0)
+			return pts[i-1].X + frac*(pts[i].X-pts[i-1].X)
+		}
+	}
+	return pts[len(pts)-1].X
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Where do the Table 1 machines fall on the bisection-sensitivity curve?")
+	fmt.Println("(sweep measured on the simulated Alewife, EM3D; bandwidth in bytes/cycle)")
+	fmt.Println()
+
+	pts, err := repro.BisectionSweep(repro.EM3D,
+		[]repro.Mechanism{repro.SM, repro.MPPoll}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crossover, found := repro.Crossover(pts, repro.SM, repro.MPPoll)
+	if found {
+		fmt.Printf("measured SM/MP crossover: %.1f bytes/cycle\n\n", crossover)
+	} else {
+		// No crossover at our baselines (see EXPERIMENTS.md divergence
+		// D1); use the knee where shared memory has lost 25% instead.
+		crossover = kneeAt(pts, 1.25)
+		fmt.Printf("no SM/MP crossover in range; using the bandwidth where shared\n")
+		fmt.Printf("memory has slowed 25%%: %.1f bytes/cycle\n\n", crossover)
+	}
+
+	rows := machines.Table1()
+	sort.Slice(rows, func(i, j int) bool {
+		bi, bj := rows[i].BytesPerCycle, rows[j].BytesPerCycle
+		if bi == machines.NA {
+			bi = -1
+		}
+		if bj == machines.NA {
+			bj = -1
+		}
+		return bi < bj
+	})
+	fmt.Printf("%-16s %14s %18s\n", "machine", "bytes/cycle", "vs crossover")
+	for _, m := range rows {
+		if m.BytesPerCycle == machines.NA {
+			fmt.Printf("%-16s %14s %18s\n", m.Name, "N/A", "-")
+			continue
+		}
+		verdict := "comfortable"
+		switch {
+		case m.BytesPerCycle < crossover:
+			verdict = "BELOW crossover"
+		case m.BytesPerCycle < 2*crossover:
+			verdict = "approaching"
+		}
+		fmt.Printf("%-16s %14.1f %18s\n", m.Name, m.BytesPerCycle, verdict)
+	}
+
+	fmt.Println("\nNetwork latency relative to Alewife's 15 cycles (Figures 9/10 axis):")
+	for _, m := range machines.Table1() {
+		if m.NetLatency == machines.NA {
+			continue
+		}
+		fmt.Printf("  %-16s %5.0f cycles (%.1fx Alewife)\n", m.Name, m.NetLatency, m.RelNetLatency())
+	}
+	fmt.Println("\nThe paper's conclusion: most machines have bisection headroom, but")
+	fmt.Println("network latency is the severe problem for shared memory — every modern")
+	fmt.Println("machine in the table has considerably higher latency than Alewife.")
+}

@@ -1,0 +1,367 @@
+// Package em3d implements the paper's EM3D benchmark (electromagnetic
+// wave propagation on an irregular bipartite graph) in all five
+// communication styles. The message-passing versions pre-communicate
+// "ghost node" values five double-words at a time before each phase, the
+// bulk version gathers per-destination buffers for DMA, and the
+// shared-memory versions read neighbor values directly, optionally with
+// the paper's prefetch insertion (write-prefetch the node being updated,
+// read-prefetch edge values two edge-computations ahead).
+package em3d
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/am"
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/psync"
+	"repro/internal/workload"
+)
+
+// edgeOverheadCycles is the loop/index overhead per edge computation:
+// indirect addressing of the neighbor and coefficient, the accumulate,
+// and loop control on a single-issue Sparcle.
+const edgeOverheadCycles = 16
+
+// ghostBlock is the fine-grained message payload size in values: the
+// paper communicates ghost values five double-words at a time.
+const ghostBlock = 5
+
+// App is one EM3D instance.
+type App struct {
+	par  workload.EM3DParams
+	g    *workload.EM3DGraph
+	m    *machine.Machine
+	mech apps.Mechanism
+	// packed stores two values per cache line instead of one (the
+	// value-layout ablation; see Setup).
+	packed bool
+
+	// Per-side value addresses (side 0 = E, side 1 = H).
+	valAddr [2][]mem.Addr
+	// resolved[ph][i] holds, for each local node i of the consuming side
+	// of phase ph, the addresses its edge values are read from (real
+	// locations for shared memory; local ghosts for message passing).
+	resolved [2][][]mem.Addr
+
+	// Message-passing state.
+	sendList [2][][]sendPair // [phase][src] -> destinations
+	expected [2][]int        // messages expected per consumer per phase
+	recv     [2][]int
+	ghostH   am.HandlerID
+
+	smBar  *psync.SMBarrier
+	msgBar *psync.MsgBarrier
+}
+
+// sendPair is one (src -> dst) ghost shipment for a phase.
+type sendPair struct {
+	dst   int
+	nodes []int32  // producer-side node ids, in slot order
+	base  mem.Addr // ghost block base at dst
+}
+
+// New generates the workload (deterministic in p.Seed).
+func New(p workload.EM3DParams) *App {
+	return &App{par: p, g: workload.NewEM3D(p)}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "em3d" }
+
+// Graph exposes the generated workload (for tests and reporting).
+func (a *App) Graph() *workload.EM3DGraph { return a.g }
+
+// SetPackedLayout switches to two values per cache line (halving read
+// misses but overflowing the LimitLESS directory on nearly every value
+// line). Call before Setup. The default padded layout is both faster
+// under LimitLESS-5 and closer to the paper's volume ratio.
+func (a *App) SetPackedLayout(packed bool) { a.packed = packed }
+
+// Setup implements apps.App.
+func (a *App) Setup(m *machine.Machine, mech apps.Mechanism) {
+	a.m, a.mech = m, mech
+	n := a.par.Nodes
+	procs := a.par.Procs
+
+	// Allocate per-owner value blocks, one value per cache line. Packing
+	// two values per 16-byte line halves read misses but pushes value
+	// lines to ~5 sharers, overflowing the LimitLESS directory on nearly
+	// every line every phase; the padded layout is both faster under
+	// LimitLESS-5 and closer to the paper's measured volume ratio (see
+	// EXPERIMENTS.md). The paper's ~6x SM/MP volume is consistent with a
+	// line per value.
+	stride := mem.Addr(2)
+	if a.packed {
+		stride = 1
+	}
+	for side := 0; side < 2; side++ {
+		a.valAddr[side] = make([]mem.Addr, n)
+		for pr := 0; pr < procs; pr++ {
+			lo, hi := apps.BlockRange(n, procs, pr)
+			if hi == lo {
+				continue
+			}
+			base := m.Alloc(pr, int(stride)*(hi-lo))
+			for i := lo; i < hi; i++ {
+				a.valAddr[side][i] = base + stride*mem.Addr(i-lo)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.Store.Poke(a.valAddr[0][i], a.g.EInit[i])
+		m.Store.Poke(a.valAddr[1][i], a.g.HInit[i])
+	}
+
+	if mech.UsesMessages() {
+		a.setupGhosts()
+		a.msgBar = psync.NewMsgBarrier(m)
+	} else {
+		a.resolveDirect()
+		a.smBar = psync.NewSMBarrier(m)
+	}
+}
+
+// resolveDirect points every edge read at the real remote location.
+func (a *App) resolveDirect() {
+	for ph := 0; ph < 2; ph++ {
+		adj := a.adj(ph)
+		src := 1 - ph // values consumed come from the other side
+		a.resolved[ph] = make([][]mem.Addr, len(adj))
+		for i, nbrs := range adj {
+			row := make([]mem.Addr, len(nbrs))
+			for d, j := range nbrs {
+				row[d] = a.valAddr[src][j]
+			}
+			a.resolved[ph][i] = row
+		}
+	}
+}
+
+// adj returns the consuming side's adjacency for a phase: phase 0 updates
+// E nodes from H values, phase 1 updates H nodes from E values.
+func (a *App) adj(ph int) [][]int32 {
+	if ph == 0 {
+		return a.g.EAdj
+	}
+	return a.g.HAdj
+}
+
+func (a *App) coef(ph int) [][]float64 {
+	if ph == 0 {
+		return a.g.ECoef
+	}
+	return a.g.HCoef
+}
+
+// setupGhosts builds the ghost-node machinery: for each phase, each
+// producer ships each consumer the deduplicated set of values the
+// consumer's edges need, into a contiguous ghost block at the consumer.
+func (a *App) setupGhosts() {
+	procs := a.par.Procs
+	for ph := 0; ph < 2; ph++ {
+		adj := a.adj(ph)
+		srcSide := 1 - ph
+		need := make([]map[int32]bool, procs) // per producer: nodes needed by current consumer
+		a.sendList[ph] = make([][]sendPair, procs)
+		a.expected[ph] = make([]int, procs)
+		a.recv[ph] = make([]int, procs)
+		ghostAddr := make([]map[int32]mem.Addr, procs) // per consumer
+		for c := 0; c < procs; c++ {
+			ghostAddr[c] = make(map[int32]mem.Addr)
+			for s := range need {
+				need[s] = nil
+			}
+			lo, hi := apps.BlockRange(a.par.Nodes, procs, c)
+			for i := lo; i < hi; i++ {
+				for _, j := range adj[i] {
+					owner := int(a.g.Owner[j])
+					if owner == c {
+						continue
+					}
+					if need[owner] == nil {
+						need[owner] = make(map[int32]bool)
+					}
+					need[owner][j] = true
+				}
+			}
+			for s := 0; s < procs; s++ {
+				if len(need[s]) == 0 {
+					continue
+				}
+				nodes := make([]int32, 0, len(need[s]))
+				for j := range need[s] {
+					nodes = append(nodes, j)
+				}
+				sortInt32(nodes)
+				base := a.m.Alloc(c, len(nodes))
+				for k, j := range nodes {
+					ghostAddr[c][j] = base + mem.Addr(k)
+				}
+				a.sendList[ph][s] = append(a.sendList[ph][s], sendPair{dst: c, nodes: nodes, base: base})
+				if a.mech == apps.Bulk {
+					a.expected[ph][c]++
+				} else {
+					a.expected[ph][c] += (len(nodes) + ghostBlock - 1) / ghostBlock
+				}
+			}
+		}
+		// Resolve edge reads to local values or ghosts.
+		a.resolved[ph] = make([][]mem.Addr, len(adj))
+		for i, nbrs := range adj {
+			owner := int(a.g.Owner[i])
+			row := make([]mem.Addr, len(nbrs))
+			for d, j := range nbrs {
+				if int(a.g.Owner[j]) == owner {
+					row[d] = a.valAddr[srcSide][j]
+				} else {
+					row[d] = ghostAddr[owner][j]
+				}
+			}
+			a.resolved[ph][i] = row
+		}
+	}
+	// One handler serves both phases: args = [ghost base addr, phase].
+	a.ghostH = a.m.AM.Register(func(c *am.Ctx, args []int64, vals []float64) {
+		base := mem.Addr(args[0])
+		ph := int(args[1])
+		for k, v := range vals {
+			a.m.Store.Poke(base+mem.Addr(k), v)
+		}
+		a.recv[ph][c.Node]++
+	})
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Body implements apps.App.
+func (a *App) Body(p *machine.Proc) {
+	if a.mech.UsesMessages() {
+		p.SetRecvMode(a.mech.RecvMode())
+	}
+	for it := 0; it < a.par.Iters; it++ {
+		for ph := 0; ph < 2; ph++ {
+			if a.mech.UsesMessages() {
+				a.commStep(p, ph)
+			}
+			a.computePhase(p, ph)
+			a.barrier(p)
+		}
+	}
+}
+
+func (a *App) barrier(p *machine.Proc) {
+	if a.msgBar != nil {
+		a.msgBar.Wait(p)
+	} else {
+		a.smBar.Wait(p)
+	}
+}
+
+// commStep pushes this processor's produced values to its consumers and
+// waits for its own ghosts to arrive.
+func (a *App) commStep(p *machine.Proc, ph int) {
+	srcSide := 1 - ph
+	sends := 0
+	for _, sp := range a.sendList[ph][p.ID] {
+		if a.mech == apps.Bulk {
+			// Gather all values into a contiguous buffer, one DMA shot.
+			buf := make([]float64, len(sp.nodes))
+			for k, j := range sp.nodes {
+				buf[k] = p.Peek(a.valAddr[srcSide][j])
+			}
+			p.ChargeGather(len(buf))
+			p.SendBulk(sp.dst, a.ghostH, []int64{int64(sp.base), int64(ph)}, buf)
+			continue
+		}
+		// Fine-grained: five double-words at a time; the send itself
+		// gathers via indirect references into the network queue.
+		for off := 0; off < len(sp.nodes); off += ghostBlock {
+			end := off + ghostBlock
+			if end > len(sp.nodes) {
+				end = len(sp.nodes)
+			}
+			vals := make([]float64, end-off)
+			for k := off; k < end; k++ {
+				vals[k-off] = p.Peek(a.valAddr[srcSide][sp.nodes[k]])
+			}
+			p.Send(sp.dst, a.ghostH, []int64{int64(sp.base) + int64(off), int64(ph)}, vals)
+			sends++
+			if a.mech == apps.MPPoll && sends%4 == 0 {
+				p.Poll()
+			}
+		}
+	}
+	for a.recv[ph][p.ID] < a.expected[ph][p.ID] {
+		p.WaitAndHandle()
+	}
+	a.recv[ph][p.ID] = 0
+}
+
+// computePhase updates this processor's nodes of the phase's side.
+func (a *App) computePhase(p *machine.Proc, ph int) {
+	lo, hi := apps.BlockRange(a.par.Nodes, a.par.Procs, p.ID)
+	coef := a.coef(ph)
+	pf := a.mech.UsesPrefetch()
+	for i := lo; i < hi; i++ {
+		own := a.valAddr[ph][i]
+		row := a.resolved[ph][i]
+		if pf {
+			// Write-prefetch the node being updated (overlap the
+			// ownership acquisition with the edge computations).
+			p.Prefetch(own, true)
+			if len(row) > 0 {
+				p.Prefetch(row[0], false)
+			}
+			if len(row) > 1 {
+				p.Prefetch(row[1], false)
+			}
+		}
+		acc := p.Read(own)
+		for d := range row {
+			if pf && d+2 < len(row) {
+				p.Prefetch(row[d+2], false)
+			}
+			v := p.Read(row[d])
+			acc -= coef[i][d] * v
+			p.Compute(2*apps.CyclesPerFlop + edgeOverheadCycles)
+		}
+		p.Write(own, acc)
+	}
+}
+
+// Validate implements apps.App.
+func (a *App) Validate() error {
+	e, h := a.g.Reference(a.par.Iters)
+	for i := range e {
+		if err := closeEnough(a.m.Store.Peek(a.valAddr[0][i]), e[i]); err != nil {
+			return fmt.Errorf("em3d: E[%d] %v", i, err)
+		}
+		if err := closeEnough(a.m.Store.Peek(a.valAddr[1][i]), h[i]); err != nil {
+			return fmt.Errorf("em3d: H[%d] %v", i, err)
+		}
+	}
+	return nil
+}
+
+func closeEnough(got, want float64) error {
+	if got == want {
+		return nil
+	}
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(got-want)/scale > 1e-9 {
+		return fmt.Errorf("= %v, want %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package em3d
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func tinyParams() workload.EM3DParams {
+	p := workload.DefaultEM3DParams()
+	return p.Scaled(320, 2)
+}
+
+func runOne(t *testing.T, mech apps.Mechanism) (machine.Result, *App) {
+	t.Helper()
+	a := New(tinyParams())
+	m := machine.New(machine.DefaultConfig())
+	a.Setup(m, mech)
+	res := m.Run(a.Body)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%v: %v", mech, err)
+	}
+	return res, a
+}
+
+func TestAllMechanismsValidate(t *testing.T) {
+	for _, mech := range apps.Mechanisms {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			res, _ := runOne(t, mech)
+			if res.Cycles <= 0 {
+				t.Fatal("no simulated time elapsed")
+			}
+			if res.Breakdown.T[stats.BucketCompute] == 0 {
+				t.Error("no compute time")
+			}
+		})
+	}
+}
+
+func TestSharedMemoryUsesCoherence(t *testing.T) {
+	res, _ := runOne(t, apps.SM)
+	if res.Events.RemoteMisses() == 0 {
+		t.Error("SM EM3D produced no remote misses")
+	}
+	if res.Events.MessagesSent > res.Events.BarrierArrivals {
+		t.Errorf("SM EM3D sent %d app messages", res.Events.MessagesSent)
+	}
+}
+
+func TestMessagePassingUsesMessages(t *testing.T) {
+	res, _ := runOne(t, apps.MPInterrupt)
+	if res.Events.MessagesSent == 0 {
+		t.Error("MP EM3D sent no messages")
+	}
+	if res.Events.Interrupts == 0 {
+		t.Error("MP-interrupt EM3D took no interrupts")
+	}
+}
+
+func TestPollingPollsAndInterruptVersionDoesNot(t *testing.T) {
+	resPoll, _ := runOne(t, apps.MPPoll)
+	if resPoll.Events.Polls == 0 {
+		t.Error("MP-poll EM3D never polled")
+	}
+	resInt, _ := runOne(t, apps.MPInterrupt)
+	if resInt.Events.Polls != 0 {
+		t.Errorf("MP-interrupt EM3D polled %d times", resInt.Events.Polls)
+	}
+}
+
+func TestBulkUsesDMA(t *testing.T) {
+	res, _ := runOne(t, apps.Bulk)
+	if res.Events.BulkTransfers == 0 {
+		t.Error("bulk EM3D made no DMA transfers")
+	}
+	// Far fewer messages than fine-grained.
+	resFine, _ := runOne(t, apps.MPInterrupt)
+	if res.Events.MessagesSent >= resFine.Events.MessagesSent {
+		t.Errorf("bulk sent %d messages, fine-grained %d",
+			res.Events.MessagesSent, resFine.Events.MessagesSent)
+	}
+}
+
+func TestPrefetchIssuesPrefetches(t *testing.T) {
+	res, _ := runOne(t, apps.SMPrefetch)
+	if res.Events.PrefetchIssued == 0 {
+		t.Error("prefetch version issued no prefetches")
+	}
+	if res.Events.PrefetchUseful == 0 {
+		t.Error("no prefetch was useful")
+	}
+}
+
+func TestSMVolumeExceedsMPVolume(t *testing.T) {
+	// Figure 5: shared memory moves several times the bytes of message
+	// passing on the same app.
+	resSM, _ := runOne(t, apps.SM)
+	resMP, _ := runOne(t, apps.MPInterrupt)
+	if resSM.Volume.Total() <= resMP.Volume.Total() {
+		t.Errorf("SM volume %d <= MP volume %d",
+			resSM.Volume.Total(), resMP.Volume.Total())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	r1, _ := runOne(t, apps.SM)
+	r2, _ := runOne(t, apps.SM)
+	if r1.Cycles != r2.Cycles || r1.Volume != r2.Volume {
+		t.Errorf("nondeterministic: %d/%v vs %d/%v",
+			r1.Cycles, r1.Volume, r2.Cycles, r2.Volume)
+	}
+}
+
+func TestRemoteFractionMatchesSpec(t *testing.T) {
+	a := New(tinyParams())
+	f := a.Graph().RemoteEdgeFraction()
+	if f < 0.12 || f > 0.28 {
+		t.Errorf("remote edge fraction %.3f, want ~0.20", f)
+	}
+}
+
+// TestAllMechanismsBitIdentical: EM3D's update order is identical across
+// all five mechanisms (each node accumulates its edges in index order on
+// exact copies of the neighbor values), so the parallel results must be
+// bit-identical to the sequential reference — not merely close.
+func TestAllMechanismsBitIdentical(t *testing.T) {
+	p := tinyParams()
+	ref, refH := workload.NewEM3D(p).Reference(p.Iters)
+	for _, mech := range apps.Mechanisms {
+		a := New(p)
+		m := machine.New(machine.DefaultConfig())
+		a.Setup(m, mech)
+		m.Run(a.Body)
+		for i := range ref {
+			if got := m.Store.Peek(a.valAddr[0][i]); got != ref[i] {
+				t.Fatalf("%v: E[%d] = %x, want %x (bit-exact)", mech, i, got, ref[i])
+			}
+			if got := m.Store.Peek(a.valAddr[1][i]); got != refH[i] {
+				t.Fatalf("%v: H[%d] = %x, want %x (bit-exact)", mech, i, got, refH[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package iccg
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func tinyParams() workload.ICCGParams {
+	p := workload.DefaultICCGParams()
+	p.Rows = 640
+	p.Band = 32
+	return p
+}
+
+func runOne(t *testing.T, mech apps.Mechanism) machine.Result {
+	t.Helper()
+	a := New(tinyParams())
+	m := machine.New(machine.DefaultConfig())
+	a.Setup(m, mech)
+	res := m.Run(a.Body)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%v: %v", mech, err)
+	}
+	return res
+}
+
+func TestAllMechanismsValidate(t *testing.T) {
+	for _, mech := range apps.Mechanisms {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			res := runOne(t, mech)
+			if res.Cycles <= 0 {
+				t.Fatal("no simulated time")
+			}
+		})
+	}
+}
+
+func TestInterruptsCauseMoreSyncThanPolling(t *testing.T) {
+	// The paper's strongest polling result: asynchronous interrupts
+	// produce uneven processor progress and high synchronization time on
+	// ICCG's dependence-heavy DAG.
+	resInt := runOne(t, apps.MPInterrupt)
+	resPoll := runOne(t, apps.MPPoll)
+	if resPoll.Cycles >= resInt.Cycles {
+		t.Errorf("polling (%d cycles) not faster than interrupts (%d)",
+			resPoll.Cycles, resInt.Cycles)
+	}
+}
+
+func TestSMUsesProducerComputesPattern(t *testing.T) {
+	res := runOne(t, apps.SM)
+	// Producer-computes: remote Updates dominate; messages only from the
+	// final barrier... none, since SM barrier is also shared memory.
+	if res.Events.MessagesSent != 0 {
+		t.Errorf("SM ICCG sent %d app messages", res.Events.MessagesSent)
+	}
+	if res.Events.RemoteMisses() == 0 {
+		t.Error("SM ICCG made no remote accesses")
+	}
+	if res.Events.Invalidations == 0 {
+		t.Error("producer-computes made no invalidations")
+	}
+}
+
+func TestBulkBuffersEdges(t *testing.T) {
+	resBulk := runOne(t, apps.Bulk)
+	resFine := runOne(t, apps.MPInterrupt)
+	if resBulk.Events.MessagesSent >= resFine.Events.MessagesSent {
+		t.Errorf("bulk messages %d >= fine-grained %d",
+			resBulk.Events.MessagesSent, resFine.Events.MessagesSent)
+	}
+	if resBulk.Events.BulkTransfers == 0 {
+		t.Error("no bulk transfers")
+	}
+}
+
+func TestFineGrainedMessageCountMatchesRemoteEdges(t *testing.T) {
+	a := New(tinyParams())
+	m := machine.New(machine.DefaultConfig())
+	a.Setup(m, apps.MPInterrupt)
+	res := m.Run(a.Body)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	remote := 0
+	for i, preds := range a.sys.Preds {
+		for _, j := range preds {
+			if a.sys.Part[i] != a.sys.Part[j] {
+				remote++
+			}
+		}
+	}
+	// App messages = one per remote DAG edge (plus barrier messages).
+	appMsgs := res.Events.MessagesSent
+	if appMsgs < int64(remote) {
+		t.Errorf("sent %d messages for %d remote edges", appMsgs, remote)
+	}
+	if appMsgs > int64(remote)+int64(5*a.par.Procs) {
+		t.Errorf("sent %d messages, expected ~%d + barrier traffic", appMsgs, remote)
+	}
+}
+
+func TestVolumeSMHighest(t *testing.T) {
+	resSM := runOne(t, apps.SM)
+	resMP := runOne(t, apps.MPPoll)
+	ratio := float64(resSM.Volume.Total()) / float64(resMP.Volume.Total())
+	if ratio < 1.5 {
+		t.Errorf("SM/MP volume ratio = %.2f, want well above 1 (paper: up to 6x)", ratio)
+	}
+}
+
+func TestBulkPaddingShowsInData(t *testing.T) {
+	// ICCG bulk transfers are small; DMA alignment padding should make
+	// the data volume exceed the raw payload.
+	res := runOne(t, apps.Bulk)
+	raw := res.Events.BulkBytes
+	data := res.Volume.Bytes[stats.VolData]
+	if data <= raw {
+		t.Errorf("bulk data volume %d <= raw payload %d; padding missing", data, raw)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		a := New(tinyParams())
+		m := machine.New(machine.DefaultConfig())
+		a.Setup(m, apps.MPPoll)
+		res := m.Run(a.Body)
+		return res.Cycles, res.Volume.Total()
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	if c1 != c2 || v1 != v2 {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d", c1, v1, c2, v2)
+	}
+}

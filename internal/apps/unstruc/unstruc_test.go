@@ -1,0 +1,113 @@
+package unstruc
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func tinyParams() workload.UnstrucParams {
+	p := workload.DefaultUnstrucParams()
+	return p.Scaled(800, 2)
+}
+
+func runOne(t *testing.T, mech apps.Mechanism) machine.Result {
+	t.Helper()
+	a := New(tinyParams())
+	m := machine.New(machine.DefaultConfig())
+	a.Setup(m, mech)
+	res := m.Run(a.Body)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%v: %v", mech, err)
+	}
+	return res
+}
+
+func TestAllMechanismsValidate(t *testing.T) {
+	for _, mech := range apps.Mechanisms {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			res := runOne(t, mech)
+			if res.Cycles <= 0 {
+				t.Fatal("no simulated time")
+			}
+		})
+	}
+}
+
+func TestSMPaysLockingOverhead(t *testing.T) {
+	// The paper: UNSTRUC's shared-memory versions incur locking overhead
+	// protecting node updates; message passing avoids locks entirely.
+	resSM := runOne(t, apps.SM)
+	if resSM.Events.LockAcquires == 0 {
+		t.Error("SM UNSTRUC acquired no locks")
+	}
+	resMP := runOne(t, apps.MPInterrupt)
+	if resMP.Events.LockAcquires != 0 {
+		t.Errorf("MP UNSTRUC acquired %d locks; handlers should suffice",
+			resMP.Events.LockAcquires)
+	}
+}
+
+func TestComputeDominatesOnHighFlopApp(t *testing.T) {
+	// 75 FLOPs/edge: compute should be the largest bucket for the
+	// low-overhead polling version, and a substantial share even for
+	// shared memory at this reduced scale.
+	res := runOne(t, apps.MPPoll)
+	bd := res.Breakdown
+	c := bd.T[stats.BucketCompute]
+	for b := stats.TimeBucket(0); b < stats.BucketCompute; b++ {
+		if bd.T[b] > c {
+			t.Errorf("bucket %v (%v) exceeds compute (%v)", b, bd.T[b], c)
+		}
+	}
+	if f := runOne(t, apps.SM).Breakdown.Frac(stats.BucketCompute); f < 0.25 {
+		t.Errorf("SM compute fraction %.2f, want >= 0.25", f)
+	}
+}
+
+func TestBulkChargesGatherScatter(t *testing.T) {
+	res := runOne(t, apps.Bulk)
+	if res.Events.BulkTransfers == 0 {
+		t.Fatal("no bulk transfers")
+	}
+	if res.Breakdown.T[stats.BucketMsgOverhead] == 0 {
+		t.Error("bulk version charged no message overhead")
+	}
+}
+
+func TestPrefetchVersionIssues(t *testing.T) {
+	res := runOne(t, apps.SMPrefetch)
+	if res.Events.PrefetchIssued == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+func TestVolumeOrdering(t *testing.T) {
+	resSM := runOne(t, apps.SM)
+	resMP := runOne(t, apps.MPPoll)
+	if resSM.Volume.Total() <= resMP.Volume.Total() {
+		t.Errorf("SM volume %d <= MP volume %d", resSM.Volume.Total(), resMP.Volume.Total())
+	}
+	if resSM.Volume.Bytes[stats.VolInvalidates] == 0 {
+		t.Error("SM UNSTRUC produced no invalidation traffic")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		a := New(tinyParams())
+		m := machine.New(machine.DefaultConfig())
+		a.Setup(m, apps.SM)
+		res := m.Run(a.Body)
+		return res.Cycles, res.Volume.Total()
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	if c1 != c2 || v1 != v2 {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d", c1, v1, c2, v2)
+	}
+}

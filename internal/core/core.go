@@ -1,0 +1,176 @@
+// Package core is the experiment framework reproducing the paper's
+// methodology: it binds the four applications (in five communication
+// styles each) to simulated machines and runs the parametric studies —
+// communication volume, bisection-bandwidth emulation via cross-traffic,
+// network-latency emulation via clock scaling, and the context-switch
+// (ideal network) emulation — producing the data behind every figure and
+// table in the evaluation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/iccg"
+	"repro/internal/apps/moldyn"
+	"repro/internal/apps/unstruc"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AppName selects one of the paper's four applications.
+type AppName string
+
+// The four applications of the study.
+const (
+	EM3D    AppName = "em3d"
+	UNSTRUC AppName = "unstruc"
+	ICCG    AppName = "iccg"
+	MOLDYN  AppName = "moldyn"
+)
+
+// AppNames lists the applications in the paper's presentation order.
+var AppNames = []AppName{EM3D, UNSTRUC, ICCG, MOLDYN}
+
+// Scale selects workload size.
+type Scale int
+
+const (
+	// ScaleTiny: seconds-fast instances for unit tests.
+	ScaleTiny Scale = iota
+	// ScaleDefault: reduced instances preserving per-iteration behaviour;
+	// the default for figure regeneration.
+	ScaleDefault
+	// ScaleSweep: further reduced instances for many-point sweeps.
+	ScaleSweep
+	// ScaleFull: the paper's published parameters (EM3D 10000 nodes,
+	// degree 10, 50 iterations, ...). Slow.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleDefault:
+		return "default"
+	case ScaleSweep:
+		return "sweep"
+	case ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// NewApp constructs an application instance at the given scale. Instances
+// are deterministic: the same (name, scale) always yields the same
+// workload.
+func NewApp(name AppName, sc Scale) (apps.App, error) {
+	switch name {
+	case EM3D:
+		p := workload.DefaultEM3DParams()
+		switch sc {
+		case ScaleTiny:
+			p = p.Scaled(320, 2)
+		case ScaleSweep:
+			p = p.Scaled(1000, 3)
+		case ScaleDefault:
+			p = p.Scaled(2000, 5)
+		case ScaleFull: // the paper's parameters
+		}
+		return em3d.New(p), nil
+	case UNSTRUC:
+		p := workload.DefaultUnstrucParams()
+		switch sc {
+		case ScaleTiny:
+			p = p.Scaled(400, 2)
+		case ScaleSweep:
+			p = p.Scaled(1000, 3)
+		case ScaleDefault:
+			p = p.Scaled(2000, 4) // the paper's 2000-node mesh
+		case ScaleFull:
+			p = p.Scaled(2000, 10)
+		}
+		return unstruc.New(p), nil
+	case ICCG:
+		p := workload.DefaultICCGParams()
+		switch sc {
+		case ScaleTiny:
+			p = p.Scaled(640)
+		case ScaleSweep:
+			p = p.Scaled(2000)
+		case ScaleDefault:
+			p = p.Scaled(4000)
+		case ScaleFull:
+			p = p.Scaled(8000)
+		}
+		return iccg.New(p), nil
+	case MOLDYN:
+		p := workload.DefaultMoldynParams()
+		switch sc {
+		case ScaleTiny:
+			p = p.ScaledBox(256, 3)
+			p.ListEvery = 2
+		case ScaleSweep:
+			p = p.ScaledBox(512, 3)
+			p.ListEvery = 2
+		case ScaleDefault:
+			p = p.ScaledBox(1024, 6)
+			p.ListEvery = 3
+		case ScaleFull:
+			p = p.ScaledBox(2048, 20) // lists every 20 iterations, as published
+		}
+		return moldyn.New(p), nil
+	}
+	return nil, fmt.Errorf("core: unknown application %q", name)
+}
+
+// RunConfig is one experiment point.
+type RunConfig struct {
+	App     AppName
+	Mech    apps.Mechanism
+	Scale   Scale
+	Machine machine.Config
+	// SkipValidate skips the numerical check (sweeps re-run the same
+	// validated workload many times; validation is O(workload)).
+	SkipValidate bool
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	machine.Result
+	App  AppName
+	Mech apps.Mechanism
+	// Trace holds the machine's event trace when Machine.TraceCap was set.
+	Trace *trace.Buffer
+}
+
+// Run builds a fresh machine, runs the app under the mechanism, validates
+// the numerical result against the sequential reference, and returns the
+// measurements.
+func Run(rc RunConfig) (RunResult, error) {
+	a, err := NewApp(rc.App, rc.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	m := machine.New(rc.Machine)
+	a.Setup(m, rc.Mech)
+	res := m.Run(a.Body)
+	if !rc.SkipValidate {
+		if err := a.Validate(); err != nil {
+			return RunResult{}, fmt.Errorf("core: %s/%s: %w", rc.App, rc.Mech, err)
+		}
+	}
+	return RunResult{Result: res, App: rc.App, Mech: rc.Mech, Trace: m.Trace}, nil
+}
+
+// MustRun is Run, panicking on error (for benchmarks and examples).
+func MustRun(rc RunConfig) RunResult {
+	r, err := Run(rc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+)
+
+// Region is one of the performance regimes of the paper's Figures 1 & 2.
+type Region int
+
+const (
+	// LatencyHiding: performance is unaffected — communication cost is
+	// hidden by low volume or parallel slackness.
+	LatencyHiding Region = iota
+	// LatencyDominated: performance degrades roughly linearly with the
+	// parameter — stalls cannot be hidden with useful computation.
+	LatencyDominated
+	// CongestionDominated: performance degrades superlinearly — queueing
+	// in the network dominates.
+	CongestionDominated
+)
+
+func (r Region) String() string {
+	switch r {
+	case LatencyHiding:
+		return "latency-hiding"
+	case LatencyDominated:
+		return "latency-dominated"
+	case CongestionDominated:
+		return "congestion-dominated"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// Classification thresholds: a segment whose runtime grows by less than
+// flatTol per unit of normalized X is "hiding"; one whose local slope
+// exceeds superRatio times the first non-flat slope is "congestion".
+const (
+	flatTol    = 0.08
+	superRatio = 2.5
+)
+
+// ClassifyRegions assigns a region to each interval of a sweep for one
+// mechanism. Points must be ordered so that increasing index means
+// increasing communication stress (for bisection sweeps pass the points
+// in decreasing-bandwidth order). The returned slice has len(points)-1
+// entries, one per interval.
+func ClassifyRegions(points []SweepPoint, mech apps.Mechanism) []Region {
+	if len(points) < 2 {
+		return nil
+	}
+	base := float64(points[0].Results[mech].Cycles)
+	// Normalized positions 0..1 across the sweep.
+	x0, x1 := points[0].X, points[len(points)-1].X
+	span := x1 - x0
+	if span == 0 {
+		span = 1
+	}
+	slopes := make([]float64, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		dy := (float64(points[i].Results[mech].Cycles) - float64(points[i-1].Results[mech].Cycles)) / base
+		dx := (points[i].X - points[i-1].X) / span
+		if dx < 0 {
+			dx = -dx
+		}
+		if dx == 0 {
+			dx = 1e-9
+		}
+		slopes[i-1] = dy / dx
+	}
+	// Reference slope: the first interval that is not flat.
+	ref := 0.0
+	for _, s := range slopes {
+		if s > flatTol {
+			ref = s
+			break
+		}
+	}
+	out := make([]Region, len(slopes))
+	for i, s := range slopes {
+		switch {
+		case s <= flatTol:
+			out[i] = LatencyHiding
+		case ref > 0 && s > superRatio*ref:
+			out[i] = CongestionDominated
+		default:
+			out[i] = LatencyDominated
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// SweepPoint is one X position of a parametric experiment with the
+// measured results per mechanism.
+type SweepPoint struct {
+	X       float64 // meaning depends on the sweep (bytes/cycle, cycles, ...)
+	Results map[apps.Mechanism]RunResult
+}
+
+// runPoint executes all mechanisms at one machine configuration.
+func runPoint(app AppName, sc Scale, mechs []apps.Mechanism, cfg machine.Config, x float64) (SweepPoint, error) {
+	pt := SweepPoint{X: x, Results: make(map[apps.Mechanism]RunResult, len(mechs))}
+	for _, mech := range mechs {
+		r, err := Run(RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
+		if err != nil {
+			return pt, err
+		}
+		pt.Results[mech] = r
+	}
+	return pt, nil
+}
+
+// BisectionSweep reproduces the Figure 8 methodology: I/O cross-traffic
+// consumes crossRates[i] bytes/cycle of the bisection; each point's X is
+// the emulated bisection (native minus cross-traffic) in bytes per
+// processor cycle. msgBytes is the cross-traffic message size (the paper
+// settles on 64 after Figure 7).
+func BisectionSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, crossRates []float64, msgBytes int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, rate := range crossRates {
+		cfg := base
+		if rate > 0 {
+			cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: msgBytes, BytesPerCycle: rate}
+		}
+		native := mesh.Config{Width: cfg.Width, Height: cfg.Height, HopLatency: cfg.HopLatency, PsPerByte: cfg.PsPerByte}.
+			BisectionBytesPerCycle(clockOf(cfg))
+		pt, err := runPoint(app, sc, mechs, cfg, native-rate)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ClockSweep reproduces the Figure 9 methodology: the processor clock
+// varies (the paper's 14-20 MHz range and beyond) while the asynchronous
+// network is untouched, so relative network latency varies. X is the
+// one-way network latency of a 24-byte packet in processor cycles over
+// the average distance (the paper's Table 1 convention).
+func ClockSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, mhzs []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, mhz := range mhzs {
+		cfg := base
+		cfg.ClockMHz = mhz
+		pt, err := runPoint(app, sc, mechs, cfg, NetLatencyCycles(cfg))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ContextSwitchSweep reproduces the Figure 10 methodology: every remote
+// miss costs a uniform emulated latency over an ideal network (infinite
+// bandwidth). Only the shared-memory mechanisms are affected; the paper
+// plots message-passing curves for reference only, and so does this
+// sweep (their machine config is untouched). X is the emulated one-way
+// latency in processor cycles.
+func ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, oneWayCycles []int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, lat := range oneWayCycles {
+		pt := SweepPoint{X: float64(lat), Results: make(map[apps.Mechanism]RunResult, len(mechs))}
+		for _, mech := range mechs {
+			cfg := base
+			if !mech.UsesMessages() {
+				cfg.IdealNetOneWayCycles = lat
+			}
+			r, err := Run(RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
+			if err != nil {
+				return out, err
+			}
+			pt.Results[mech] = r
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// MsgLenSweep reproduces Figure 7: the sensitivity of the bisection
+// emulation to the cross-traffic message length. It holds the emulated
+// bisection constant and varies the message size; X is the message size
+// in bytes, and the result records the application runtime plus the
+// achieved cross-traffic rate.
+func MsgLenSweep(app AppName, sc Scale, mech apps.Mechanism, base machine.Config, crossRate float64, sizes []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, size := range sizes {
+		cfg := base
+		cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: size, BytesPerCycle: crossRate}
+		pt, err := runPoint(app, sc, []apps.Mechanism{mech}, cfg, float64(size))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// NetLatencyCycles returns the one-way delivery time of a 24-byte packet
+// over the mesh's average distance, in processor cycles — the latency
+// convention of the paper's Table 1 (Alewife ~ 15 at 20 MHz).
+func NetLatencyCycles(cfg machine.Config) float64 {
+	clk := sim.NewClock(cfg.ClockMHz)
+	m := mesh.New(sim.NewEngine(), mesh.Config{Width: cfg.Width, Height: cfg.Height,
+		HopLatency: cfg.HopLatency, PsPerByte: cfg.PsPerByte, Torus: cfg.Torus})
+	avg := m.AvgHops()
+	t := float64(cfg.HopLatency)*(avg+1) + 24*float64(cfg.PsPerByte)
+	return t / float64(clk.PsPerCycle())
+}
+
+// Crossover scans a sweep (ordered by X) for the first X interval where
+// mechanism a's runtime goes from faster to slower than b's, returning
+// the interpolated crossing X.
+func Crossover(points []SweepPoint, a, b apps.Mechanism) (x float64, found bool) {
+	for i := 1; i < len(points); i++ {
+		p0, p1 := points[i-1], points[i]
+		d0 := float64(p0.Results[a].Cycles - p0.Results[b].Cycles)
+		d1 := float64(p1.Results[a].Cycles - p1.Results[b].Cycles)
+		if d0 == d1 {
+			continue
+		}
+		if (d0 <= 0 && d1 > 0) || (d0 >= 0 && d1 < 0) {
+			frac := -d0 / (d1 - d0)
+			return p0.X + frac*(p1.X-p0.X), true
+		}
+	}
+	return 0, false
+}
+
+func clockOf(cfg machine.Config) sim.Clock { return sim.NewClock(cfg.ClockMHz) }

@@ -1,0 +1,108 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// WriteSweepCSV emits a sweep as CSV: one row per X with runtime columns
+// per mechanism — the machine-readable form of Figures 7-10.
+func WriteSweepCSV(w io.Writer, xlabel string, mechs []apps.Mechanism, pts []core.SweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{xlabel}
+	for _, m := range mechs {
+		header = append(header, m.String()+"_cycles")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		row := []string{strconv.FormatFloat(pt.X, 'f', 2, 64)}
+		for _, m := range mechs {
+			row = append(row, strconv.FormatInt(pt.Results[m].Cycles, 10))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV emits the per-app/mechanism breakdown table as CSV.
+func WriteFig4CSV(w io.Writer, rows []Fig4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "mechanism", "cycles",
+		"sync_cycles", "msg_overhead_cycles", "mem_ni_wait_cycles", "compute_cycles",
+		"volume_total", "volume_invalidates", "volume_requests", "volume_headers", "volume_data",
+		"remote_misses", "messages_sent", "interrupts", "polls",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		bd := r.Res.Breakdown
+		v := r.Res.Volume
+		ev := r.Res.Events
+		// Breakdown times are picoseconds; emit as-is (consumers can
+		// divide by the clock period) plus the headline cycles.
+		row := []string{
+			string(r.App), r.Res.Mech.String(),
+			strconv.FormatInt(r.Res.Cycles, 10),
+			strconv.FormatInt(int64(bd.T[stats.BucketSync]), 10),
+			strconv.FormatInt(int64(bd.T[stats.BucketMsgOverhead]), 10),
+			strconv.FormatInt(int64(bd.T[stats.BucketMemWait]), 10),
+			strconv.FormatInt(int64(bd.T[stats.BucketCompute]), 10),
+			strconv.FormatInt(v.Total(), 10),
+			strconv.FormatInt(v.Bytes[stats.VolInvalidates], 10),
+			strconv.FormatInt(v.Bytes[stats.VolRequests], 10),
+			strconv.FormatInt(v.Bytes[stats.VolHeaders], 10),
+			strconv.FormatInt(v.Bytes[stats.VolData], 10),
+			strconv.FormatInt(ev.RemoteMisses(), 10),
+			strconv.FormatInt(ev.MessagesSent, 10),
+			strconv.FormatInt(ev.Interrupts, 10),
+			strconv.FormatInt(ev.Polls, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMissPenaltiesCSV emits the Figure 3 microbenchmark results.
+func WriteMissPenaltiesCSV(w io.Writer, mp core.MissPenalties) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"operation", "measured_cycles", "paper_cycles"}); err != nil {
+		return err
+	}
+	rows := [][3]string{
+		{"local_read", f(mp.LocalRead), "11"},
+		{"remote_clean_read", f(mp.RemoteCleanRead), "40"},
+		{"remote_dirty_read_3party", f(mp.RemoteDirtyRead), "63"},
+		{"limitless_read", f(mp.LimitLESSRead), "425"},
+		{"local_write", f(mp.LocalWrite), "12"},
+		{"remote_clean_write", f(mp.RemoteCleanWrite), "39"},
+		{"remote_inval_write", f(mp.RemoteInvalWrite), "55"},
+		{"remote_dirty_write_3party", f(mp.RemoteDirtyWrite), "75"},
+		{"limitless_write", f(mp.LimitLESSWrite), "707"},
+		{"null_active_message", f(mp.NullAMCycles), "102"},
+		{"net_latency_24B", f(mp.NetLatency24), "15"},
+	}
+	for _, r := range rows {
+		if err := cw.Write(r[:]); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.1f", v) }

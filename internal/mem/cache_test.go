@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache() *cache {
+	p := DefaultParams()
+	p.CacheLines = 64
+	p.PrefetchEntries = 4
+	return newCache(p)
+}
+
+func TestCacheFillLookup(t *testing.T) {
+	c := newTestCache()
+	if c.lookup(10) != lineInvalid {
+		t.Error("empty cache returned a hit")
+	}
+	victim, dirty := c.fill(10, lineShared)
+	if victim != NilAddr || dirty {
+		t.Errorf("fill into empty frame evicted %d dirty=%v", victim, dirty)
+	}
+	if c.lookup(10) != lineShared {
+		t.Error("filled line not found")
+	}
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	c := newTestCache() // 64 lines: 10 and 74 conflict
+	c.fill(10, lineModified)
+	victim, dirty := c.fill(74, lineShared)
+	if victim != 10 || !dirty {
+		t.Errorf("conflict fill: victim=%d dirty=%v, want 10 dirty", victim, dirty)
+	}
+	if c.lookup(10) != lineInvalid {
+		t.Error("evicted line still present")
+	}
+	if c.lookup(74) != lineShared {
+		t.Error("new line absent")
+	}
+}
+
+func TestCacheRefillSameLineNoVictim(t *testing.T) {
+	c := newTestCache()
+	c.fill(10, lineShared)
+	victim, dirty := c.fill(10, lineModified)
+	if victim != NilAddr || dirty {
+		t.Errorf("same-line refill produced victim %d", victim)
+	}
+	if c.lookup(10) != lineModified {
+		t.Error("state not upgraded")
+	}
+}
+
+func TestCacheInvalidateAndDowngrade(t *testing.T) {
+	c := newTestCache()
+	c.fill(5, lineModified)
+	c.downgrade(5)
+	if c.lookup(5) != lineShared {
+		t.Error("downgrade failed")
+	}
+	if wasDirty := c.invalidate(5); wasDirty {
+		t.Error("downgraded line reported dirty on invalidate")
+	}
+	if c.lookup(5) != lineInvalid {
+		t.Error("invalidate failed")
+	}
+	// Invalidating an absent line is a no-op.
+	if c.invalidate(99) {
+		t.Error("absent line reported dirty")
+	}
+}
+
+func TestPrefetchBufferFIFO(t *testing.T) {
+	c := newTestCache() // 4 pf entries
+	for i := Addr(0); i < 4; i++ {
+		if ev, _ := c.pfFill(100+i, lineShared); ev != NilAddr {
+			t.Fatalf("early eviction of %d", ev)
+		}
+	}
+	ev, dirty := c.pfFill(200, lineModified)
+	if ev != 100 || dirty {
+		t.Errorf("FIFO eviction = %d dirty=%v, want 100 clean", ev, dirty)
+	}
+	if c.pfLookup(100) >= 0 {
+		t.Error("evicted pf entry still found")
+	}
+	if i := c.pfLookup(200); i < 0 || c.pf[i].state != lineModified {
+		t.Error("new pf entry missing or wrong state")
+	}
+}
+
+func TestPrefetchBufferTakeAndInvalidate(t *testing.T) {
+	c := newTestCache()
+	c.pfFill(42, lineModified)
+	i := c.pfLookup(42)
+	if i < 0 {
+		t.Fatal("pf entry missing")
+	}
+	if st := c.pfTake(i); st != lineModified {
+		t.Errorf("pfTake state = %d", st)
+	}
+	if c.pfLookup(42) >= 0 {
+		t.Error("taken entry still present")
+	}
+	c.pfFill(43, lineModified)
+	if !c.invalidate(43) {
+		t.Error("invalidate of modified pf entry should report dirty")
+	}
+	if c.pfLookup(43) >= 0 {
+		t.Error("invalidated pf entry still present")
+	}
+}
+
+func TestCacheHasCoversBoth(t *testing.T) {
+	c := newTestCache()
+	c.fill(1, lineShared)
+	c.pfFill(2, lineShared)
+	if !c.has(1) || !c.has(2) || c.has(3) {
+		t.Error("has() wrong")
+	}
+}
+
+// Property: after any sequence of fills, lookup(line) hits iff line was
+// the most recent fill of its frame.
+func TestCacheDirectMappedProperty(t *testing.T) {
+	prop := func(lines []uint8) bool {
+		c := newTestCache()
+		last := map[Addr]Addr{} // frame -> line
+		for _, l := range lines {
+			line := Addr(l)
+			c.fill(line, lineShared)
+			last[line%64] = line
+		}
+		for frame, line := range last {
+			if c.lookup(line) == lineInvalid {
+				return false
+			}
+			_ = frame
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharerSetOps(t *testing.T) {
+	var s sharerSet
+	s.add(3)
+	s.add(17)
+	s.add(3)
+	if s.count() != 2 || !s.has(3) || !s.has(17) || s.has(4) {
+		t.Errorf("set ops wrong: %b", s)
+	}
+	var visited []int
+	s.forEach(func(n int) { visited = append(visited, n) })
+	if len(visited) != 2 || visited[0] != 3 || visited[1] != 17 {
+		t.Errorf("forEach = %v", visited)
+	}
+	s.remove(3)
+	if s.has(3) || s.count() != 1 {
+		t.Error("remove failed")
+	}
+}

@@ -1,0 +1,59 @@
+package mem
+
+import "math/bits"
+
+// sharerSet is a bitset of node ids (the simulator supports up to 64
+// nodes; Alewife and every Table 1 machine has 32).
+type sharerSet uint64
+
+func (s sharerSet) has(n int) bool { return s&(1<<uint(n)) != 0 }
+func (s *sharerSet) add(n int)     { *s |= 1 << uint(n) }
+func (s *sharerSet) remove(n int)  { *s &^= 1 << uint(n) }
+func (s sharerSet) count() int     { return bits.OnesCount64(uint64(s)) }
+func (s sharerSet) forEach(f func(int)) {
+	for v := uint64(s); v != 0; {
+		n := bits.TrailingZeros64(v)
+		v &^= 1 << uint(n)
+		f(n)
+	}
+}
+
+// Directory states for a line at its home node.
+type dirState uint8
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirModified
+)
+
+// dirEntry is the home-side directory record for one line. Entries are
+// created on first touch; absence means dirUncached with no sharers.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers sharerSet
+
+	// busy serializes multi-message transactions (invalidation rounds,
+	// owner fetches). Requests arriving while busy queue FIFO.
+	busy  bool
+	queue []func()
+}
+
+// directory is one node's home directory.
+type directory struct {
+	entries map[Addr]*dirEntry
+}
+
+func newDirectory() *directory {
+	return &directory{entries: make(map[Addr]*dirEntry)}
+}
+
+func (d *directory) entry(line Addr) *dirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &dirEntry{state: dirUncached, owner: -1}
+		d.entries[line] = e
+	}
+	return e
+}

@@ -1,0 +1,153 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// protocolConfigs enumerates the memory-system variants that must all
+// preserve program semantics.
+func protocolConfigs() map[string]Params {
+	out := map[string]Params{}
+	for _, cons := range []Consistency{SC, RC} {
+		for _, prot := range []Protocol{ProtocolInvalidate, ProtocolUpdate} {
+			p := DefaultParams()
+			p.Consistency = cons
+			p.Protocol = prot
+			out[fmt.Sprintf("%v/%v", cons, prot)] = p
+		}
+	}
+	return out
+}
+
+// TestProtocolFuzzRandomPrograms runs randomized race-free programs over
+// every protocol variant and checks exact outcomes:
+//
+//   - shared counters are touched only through RMW: their totals are exact;
+//   - single-writer words: the owner's last written value must be read
+//     back exactly by the owner and, after quiescence, be the stored value;
+//   - random prefetches (read and write) are sprinkled in and must never
+//     change results.
+func TestProtocolFuzzRandomPrograms(t *testing.T) {
+	for name, par := range protocolConfigs() {
+		par := par
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				runFuzzTrial(t, par, int64(100+trial))
+			}
+		})
+	}
+}
+
+func runFuzzTrial(t *testing.T, par Params, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+	net := mesh.New(eng, mesh.Config{Width: 8, Height: 4, HopLatency: 40000, PsPerByte: 22223})
+	clk := sim.NewClock(20)
+	st := NewStore(32)
+	sys := NewSystem(eng, net, clk, par, st)
+
+	const nCounters = 6
+	const nPrivate = 32 // one per node
+	counters := make([]Addr, nCounters)
+	for i := range counters {
+		counters[i] = st.Alloc(rng.Intn(32), 2)
+	}
+	private := make([]Addr, nPrivate)
+	for i := range private {
+		private[i] = st.Alloc(rng.Intn(32), 2)
+	}
+
+	expectedIncrements := make([]int, nCounters)
+	lastWrite := make([]float64, nPrivate)
+	type plan struct {
+		ops []func(th *sim.Thread, node int, bd *stats.Breakdown)
+	}
+	plans := make([]plan, 32)
+	for node := 0; node < 32; node++ {
+		node := node
+		nOps := 10 + rng.Intn(20)
+		for k := 0; k < nOps; k++ {
+			switch rng.Intn(5) {
+			case 0: // increment a random shared counter atomically
+				c := rng.Intn(nCounters)
+				expectedIncrements[c]++
+				a := counters[c]
+				plans[node].ops = append(plans[node].ops,
+					func(th *sim.Thread, node int, bd *stats.Breakdown) {
+						sys.RMW(th, node, a, func(v float64) float64 { return v + 1 }, bd, stats.BucketSync)
+					})
+			case 1: // write own private word
+				v := float64(rng.Intn(1000) + 1)
+				lastWrite[node] = v
+				a := private[node]
+				plans[node].ops = append(plans[node].ops,
+					func(th *sim.Thread, node int, bd *stats.Breakdown) {
+						sys.StoreWord(th, node, a, v, bd, stats.BucketMemWait)
+					})
+			case 2: // read own private word: must see own last write
+				want := lastWrite[node]
+				a := private[node]
+				if want == 0 {
+					continue
+				}
+				plans[node].ops = append(plans[node].ops,
+					func(th *sim.Thread, node int, bd *stats.Breakdown) {
+						if got := sys.Load(th, node, a, bd, stats.BucketMemWait); got != want {
+							t.Errorf("node %d read-own-write got %v, want %v", node, got, want)
+						}
+					})
+			case 3: // read someone's counter (any momentary value is fine)
+				a := counters[rng.Intn(nCounters)]
+				plans[node].ops = append(plans[node].ops,
+					func(th *sim.Thread, node int, bd *stats.Breakdown) {
+						sys.Load(th, node, a, bd, stats.BucketMemWait)
+					})
+			case 4: // random prefetch (never changes semantics)
+				a := counters[rng.Intn(nCounters)]
+				if rng.Intn(2) == 0 {
+					a = private[rng.Intn(nPrivate)]
+				}
+				write := rng.Intn(2) == 0
+				plans[node].ops = append(plans[node].ops,
+					func(th *sim.Thread, node int, bd *stats.Breakdown) {
+						sys.Prefetch(node, a, write)
+					})
+			}
+		}
+	}
+
+	bds := make([]stats.Breakdown, 32)
+	for node := 0; node < 32; node++ {
+		node := node
+		eng.Spawn("p", 0, func(th *sim.Thread) {
+			for _, op := range plans[node].ops {
+				op(th, node, &bds[node])
+				th.Sleep(clk.Cycles(int64(1 + seed%7)))
+			}
+			sys.Fence(th, node, &bds[node], stats.BucketMemWait)
+		})
+	}
+	eng.SetEventLimit(100_000_000)
+	eng.Run()
+
+	for c, want := range expectedIncrements {
+		if got := st.Peek(counters[c]); got != float64(want) {
+			t.Errorf("seed %d: counter %d = %v, want %d", seed, c, got, want)
+		}
+	}
+	for node, want := range lastWrite {
+		if want == 0 {
+			continue
+		}
+		if got := st.Peek(private[node]); got != want {
+			t.Errorf("seed %d: private[%d] = %v, want %v", seed, node, got, want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mem
+
+import "fmt"
+
+// Addr is a global shared-memory word address. The address space is
+// segmented by home node: addr = home*segWords + offset. Each word holds
+// one float64 (the applications' natural datum).
+type Addr int64
+
+// segWords is the per-node segment size in words (2^24 words = 128MB of
+// float64s per node, far beyond any workload here).
+const segWords = 1 << 24
+
+// NilAddr is an invalid address usable as a sentinel.
+const NilAddr Addr = -1
+
+// Store is the authoritative backing state of distributed shared memory:
+// per-node word arrays plus allocation bookkeeping. The coherence protocol
+// provides timing and ordering; data reads and writes complete against the
+// Store at their simulated completion times.
+type Store struct {
+	nodes int
+	data  [][]float64
+}
+
+// NewStore creates a store for n nodes.
+func NewStore(n int) *Store {
+	return &Store{nodes: n, data: make([][]float64, n)}
+}
+
+// Nodes returns the node count.
+func (s *Store) Nodes() int { return s.nodes }
+
+// Alloc reserves words contiguous words homed at node and returns the base
+// address. Allocations are line-aligned relative to the segment base so
+// that a line never spans nodes.
+func (s *Store) Alloc(node, words int) Addr {
+	if node < 0 || node >= s.nodes {
+		panic(fmt.Sprintf("mem: Alloc on bad node %d", node))
+	}
+	if words <= 0 {
+		panic(fmt.Sprintf("mem: Alloc of %d words", words))
+	}
+	cur := len(s.data[node])
+	// Line-align (2-word lines) so allocations don't share lines; false
+	// sharing is then an application decision, not an allocator accident.
+	if cur%2 != 0 {
+		s.data[node] = append(s.data[node], 0)
+		cur++
+	}
+	if cur+words > segWords {
+		panic(fmt.Sprintf("mem: node %d segment exhausted", node))
+	}
+	s.data[node] = append(s.data[node], make([]float64, words)...)
+	return Addr(node)*segWords + Addr(cur)
+}
+
+// Home returns the home node of addr.
+func (s *Store) Home(a Addr) int { return int(a / segWords) }
+
+// offset returns the word offset of addr within its home segment.
+func (s *Store) offset(a Addr) int { return int(a % segWords) }
+
+// Peek reads the authoritative value without simulated timing. Intended
+// for initialization, validation, and tests.
+func (s *Store) Peek(a Addr) float64 {
+	return s.data[s.Home(a)][s.offset(a)]
+}
+
+// Poke writes the authoritative value without simulated timing. Intended
+// for initialization before a run.
+func (s *Store) Poke(a Addr, v float64) {
+	s.data[s.Home(a)][s.offset(a)] = v
+}
+
+// LineOf returns the line number containing addr (lines are lineWords
+// words).
+func LineOf(a Addr, lineWords int) Addr { return a / Addr(lineWords) }

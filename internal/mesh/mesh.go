@@ -1,0 +1,606 @@
+// Package mesh simulates the Alewife EMRC-style 2-D mesh interconnect:
+// dimension-order (X then Y) cut-through routing, per-link bandwidth and
+// occupancy, per-hop router latency, endpoint back-pressure, and the
+// paper's bisection-bandwidth emulation via I/O cross-traffic injected
+// across both edges of the mesh (Figure 6).
+//
+// Timing model. A packet's head advances one router per HopLatency; its
+// body follows in a pipeline, so an uncongested delivery takes
+//
+//	(hops+1)*HopLatency + Size*PsPerByte
+//
+// matching Alewife's ~15 processor cycles for a 24-byte packet at 20 MHz.
+// Each directed link is a server that is occupied for Size*PsPerByte per
+// packet; when a link is busy the head waits, which is what produces the
+// nonlinear congestion of the paper's "Congestion Dominated" region.
+// Link reservations are made in send order (a standard fast cut-through
+// approximation: one delivery event per packet rather than one per hop).
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Class identifies what a packet carries, for volume accounting and for
+// choosing the endpoint drain path (hardware CMMU vs processor handler).
+type Class int
+
+const (
+	// ClassCohReq is a coherence read/write/upgrade request.
+	ClassCohReq Class = iota
+	// ClassCohInval is an invalidation or an invalidation acknowledgment.
+	ClassCohInval
+	// ClassCohAck is a protocol acknowledgment that is not part of
+	// invalidation traffic (e.g. ownership grants without data).
+	ClassCohAck
+	// ClassCohData is a cache-line carrying coherence message.
+	ClassCohData
+	// ClassAM is a fine-grained active message.
+	ClassAM
+	// ClassBulk is a DMA bulk-transfer message.
+	ClassBulk
+	// ClassXTraffic is I/O cross-traffic used for bisection emulation;
+	// it is accounted separately from application volume.
+	ClassXTraffic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCohReq:
+		return "coh-req"
+	case ClassCohInval:
+		return "coh-inval"
+	case ClassCohAck:
+		return "coh-ack"
+	case ClassCohData:
+		return "coh-data"
+	case ClassAM:
+		return "am"
+	case ClassBulk:
+		return "bulk"
+	case ClassXTraffic:
+		return "x-traffic"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Packet is one network message. HdrBytes+PayloadBytes is the wire size.
+type Packet struct {
+	Src, Dst     int
+	Class        Class
+	HdrBytes     int
+	PayloadBytes int
+
+	// Deliver is invoked when the endpoint accepts the packet. It runs in
+	// engine context and must not block. Nil packets are absorbed.
+	Deliver func(now sim.Time, p *Packet)
+
+	// Payload carries model-level contents (protocol ops, AM args). The
+	// network does not interpret it.
+	Payload interface{}
+}
+
+// Size returns the wire size in bytes.
+func (p *Packet) Size() int { return p.HdrBytes + p.PayloadBytes }
+
+// Endpoint receives packets at a node. TryDeliver is offered a packet when
+// its tail has fully arrived; returning ok=false applies back-pressure and
+// the network retries at retryAt (which must be in the future).
+type Endpoint interface {
+	TryDeliver(now sim.Time, p *Packet) (ok bool, retryAt sim.Time)
+}
+
+// AcceptAll is an Endpoint that consumes every packet immediately.
+type AcceptAll struct{}
+
+// TryDeliver implements Endpoint.
+func (AcceptAll) TryDeliver(now sim.Time, p *Packet) (bool, sim.Time) {
+	if p.Deliver != nil {
+		p.Deliver(now, p)
+	}
+	return true, 0
+}
+
+// Config parameterizes the mesh.
+type Config struct {
+	Width, Height int      // router grid; node id = y*Width + x
+	HopLatency    sim.Time // per-router head latency
+	PsPerByte     sim.Time // link serialization: time per byte
+	// Torus adds wraparound links in both dimensions and routes each
+	// dimension the short way around, doubling bisection bandwidth and
+	// halving worst-case distance (the Cray T3D/T3E topologies of
+	// Table 1). Cross-traffic emulation is mesh-only.
+	Torus bool
+	// AdaptiveXY enables minimal adaptive routing: each packet picks XY
+	// or YX dimension order by whichever first link is free sooner
+	// (deterministic given simulation state). Alewife's EMRC is
+	// dimension-ordered; this exists as a network-design ablation.
+	AdaptiveXY bool
+}
+
+// bisectionLinks counts directed links crossing the X-dimension middle
+// cut: 2 per row for a mesh, 4 per row for a torus (the cut severs the
+// ring twice).
+func (c Config) bisectionLinks() int {
+	if c.Torus {
+		return 4 * c.Height
+	}
+	return 2 * c.Height
+}
+
+// BisectionBytesPerCycle returns the native bisection bandwidth in bytes
+// per processor cycle for the given clock.
+func (c Config) BisectionBytesPerCycle(clk sim.Clock) float64 {
+	return float64(c.bisectionLinks()) * float64(clk.PsPerCycle()) / float64(c.PsPerByte)
+}
+
+// Network is a simulated 2-D mesh.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+
+	// busyUntil[d][i] is the reservation horizon of directed link i in
+	// direction d. X links: index y*(Width-1)+x for the link between
+	// (x,y) and (x+1,y). Y links: index y*Width+x for the link between
+	// (x,y) and (x,y+1).
+	busyUntil [4][]sim.Time
+	// linkBytes accumulates bytes serialized per directed link, for
+	// utilization and hot-spot reporting.
+	linkBytes [4][]int64
+
+	endpoints []Endpoint
+
+	// Volume accounting (application traffic).
+	vol stats.Volume
+	// Cross-traffic accounting.
+	xPackets, xBytes int64
+	// Bytes that crossed the X-dimension bisection, by app vs cross.
+	appBisectionBytes, xBisectionBytes int64
+
+	packetsSent int64
+	retries     int64
+
+	stopX bool // stops cross-traffic generators
+}
+
+// Directions for link indexing.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth // +y
+	dirSouth // -y
+)
+
+// New creates a mesh network. All endpoints default to AcceptAll.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic(fmt.Sprintf("mesh: bad dimensions %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.PsPerByte <= 0 {
+		panic("mesh: PsPerByte must be positive")
+	}
+	n := &Network{eng: eng, cfg: cfg}
+	nx := (cfg.Width - 1) * cfg.Height
+	ny := cfg.Width * (cfg.Height - 1)
+	if cfg.Torus {
+		nx = cfg.Width * cfg.Height
+		ny = cfg.Width * cfg.Height
+	}
+	n.busyUntil[dirEast] = make([]sim.Time, nx)
+	n.busyUntil[dirWest] = make([]sim.Time, nx)
+	n.busyUntil[dirNorth] = make([]sim.Time, ny)
+	n.busyUntil[dirSouth] = make([]sim.Time, ny)
+	for d := range n.linkBytes {
+		n.linkBytes[d] = make([]int64, len(n.busyUntil[d]))
+	}
+	n.endpoints = make([]Endpoint, cfg.Width*cfg.Height)
+	for i := range n.endpoints {
+		n.endpoints[i] = AcceptAll{}
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of routers (compute endpoints).
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Attach installs ep as the endpoint of node id.
+func (n *Network) Attach(id int, ep Endpoint) { n.endpoints[id] = ep }
+
+// XY returns the mesh coordinates of node id.
+func (n *Network) XY(id int) (x, y int) { return id % n.cfg.Width, id / n.cfg.Width }
+
+// ID returns the node id at coordinates (x, y).
+func (n *Network) ID(x, y int) int { return y*n.cfg.Width + x }
+
+// Hops returns the dimension-order hop count between two nodes (shortest
+// way around each ring for a torus).
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := n.XY(src)
+	dx, dy := n.XY(dst)
+	hx, hy := abs(dx-sx), abs(dy-sy)
+	if n.cfg.Torus {
+		if w := n.cfg.Width - hx; w < hx {
+			hx = w
+		}
+		if w := n.cfg.Height - hy; w < hy {
+			hy = w
+		}
+	}
+	return hx + hy
+}
+
+// stepX decides the next X move from x toward dx: +1 (east) or -1
+// (west), taking the short way around on a torus.
+func (n *Network) stepX(x, dx int) int {
+	if !n.cfg.Torus {
+		if dx > x {
+			return 1
+		}
+		return -1
+	}
+	fwd := ((dx - x) + n.cfg.Width) % n.cfg.Width
+	if fwd <= n.cfg.Width-fwd {
+		return 1
+	}
+	return -1
+}
+
+func (n *Network) stepY(y, dy int) int {
+	if !n.cfg.Torus {
+		if dy > y {
+			return 1
+		}
+		return -1
+	}
+	fwd := ((dy - y) + n.cfg.Height) % n.cfg.Height
+	if fwd <= n.cfg.Height-fwd {
+		return 1
+	}
+	return -1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send injects p into the network at the current simulated time. The
+// packet is routed X-then-Y; its Deliver callback (if any) runs when the
+// destination endpoint accepts it. The returned time is when the packet's
+// head actually enters its first link — under congestion this lags Now,
+// which senders use to model finite output-queue depth.
+func (n *Network) Send(p *Packet) sim.Time {
+	now := n.eng.Now()
+	n.packetsSent++
+	n.account(p)
+
+	size := sim.Time(p.Size()) * n.cfg.PsPerByte
+	head := now
+	depart := now
+	first := true
+	hops := 0
+
+	x, y := n.XY(p.Src)
+	dx, dy := n.XY(p.Dst)
+	w, h := n.cfg.Width, n.cfg.Height
+	cross := false
+	doX := func() {
+		for x != dx {
+			var d, idx int
+			if n.stepX(x, dx) > 0 {
+				d = dirEast
+				if n.cfg.Torus {
+					idx = y*w + x
+					if x == w/2-1 || x == w-1 {
+						cross = true
+					}
+				} else {
+					idx = y*(w-1) + x
+					if x == w/2-1 {
+						cross = true
+					}
+				}
+				x = (x + 1) % w
+			} else {
+				d = dirWest
+				if n.cfg.Torus {
+					idx = y*w + (x-1+w)%w
+					if x == w/2 || x == 0 {
+						cross = true
+					}
+				} else {
+					idx = y*(w-1) + (x - 1)
+					if x == w/2 {
+						cross = true
+					}
+				}
+				x = (x - 1 + w) % w
+			}
+			head = n.reserve(d, idx, head, size)
+			if first {
+				depart, first = head-n.cfg.HopLatency, false
+			}
+			hops++
+		}
+	}
+	doY := func() {
+		for y != dy {
+			var d, idx int
+			if n.stepY(y, dy) > 0 {
+				d = dirNorth
+				if n.cfg.Torus {
+					idx = y*w + x
+				} else {
+					idx = y*w + x
+				}
+				y = (y + 1) % h
+			} else {
+				d = dirSouth
+				if n.cfg.Torus {
+					idx = ((y-1+h)%h)*w + x
+				} else {
+					idx = (y-1)*w + x
+				}
+				y = (y - 1 + h) % h
+			}
+			head = n.reserve(d, idx, head, size)
+			if first {
+				depart, first = head-n.cfg.HopLatency, false
+			}
+			hops++
+		}
+	}
+	if n.cfg.AdaptiveXY && x != dx && y != dy && n.yFirstFreer(x, y, dx, dy) {
+		doY()
+		doX()
+	} else {
+		doX()
+		doY()
+	}
+	if cross {
+		if p.Class == ClassXTraffic {
+			n.xBisectionBytes += int64(p.Size())
+		} else {
+			n.appBisectionBytes += int64(p.Size())
+		}
+	}
+
+	// Head passes hops routers plus the ejection stage; the tail follows
+	// by the serialization time.
+	tail := head + n.cfg.HopLatency + size
+	n.eng.At(tail, func() { n.deliver(p) })
+	return depart
+}
+
+// yFirstFreer reports whether the first Y-direction link out of (x,y) is
+// free sooner than the first X-direction link (the adaptive XY/YX choice).
+func (n *Network) yFirstFreer(x, y, dx, dy int) bool {
+	w := n.cfg.Width
+	var xd, xi int
+	if n.stepX(x, dx) > 0 {
+		xd = dirEast
+		if n.cfg.Torus {
+			xi = y*w + x
+		} else {
+			xi = y*(w-1) + x
+		}
+	} else {
+		xd = dirWest
+		if n.cfg.Torus {
+			xi = y*w + (x-1+w)%w
+		} else {
+			xi = y*(w-1) + (x - 1)
+		}
+	}
+	h := n.cfg.Height
+	var yd, yi int
+	if n.stepY(y, dy) > 0 {
+		yd = dirNorth
+		yi = y*w + x
+	} else {
+		yd = dirSouth
+		if n.cfg.Torus {
+			yi = ((y-1+h)%h)*w + x
+		} else {
+			yi = (y-1)*w + x
+		}
+	}
+	return n.busyUntil[yd][yi] < n.busyUntil[xd][xi]
+}
+
+// reserve occupies directed link (d, idx) from the head's arrival and
+// returns when the head reaches the next router.
+func (n *Network) reserve(d, idx int, head, size sim.Time) sim.Time {
+	start := head
+	if bu := n.busyUntil[d][idx]; bu > start {
+		start = bu
+	}
+	n.busyUntil[d][idx] = start + size
+	n.linkBytes[d][idx] += int64(size / n.cfg.PsPerByte)
+	return start + n.cfg.HopLatency
+}
+
+func (n *Network) deliver(p *Packet) {
+	if p.Class == ClassXTraffic {
+		// Cross-traffic exits the mesh at the edge I/O nodes without
+		// disturbing the compute node's network interface.
+		return
+	}
+	ep := n.endpoints[p.Dst]
+	ok, retryAt := ep.TryDeliver(n.eng.Now(), p)
+	if ok {
+		return
+	}
+	n.retries++
+	if retryAt <= n.eng.Now() {
+		retryAt = n.eng.Now() + n.cfg.HopLatency
+	}
+	n.eng.At(retryAt, func() { n.deliver(p) })
+}
+
+func (n *Network) account(p *Packet) {
+	if p.Class == ClassXTraffic {
+		n.xPackets++
+		n.xBytes += int64(p.Size())
+		return
+	}
+	switch p.Class {
+	case ClassCohReq, ClassCohAck:
+		n.vol.Add(stats.VolRequests, int64(p.Size()))
+	case ClassCohInval:
+		n.vol.Add(stats.VolInvalidates, int64(p.Size()))
+	case ClassCohData, ClassAM, ClassBulk:
+		n.vol.Add(stats.VolHeaders, int64(p.HdrBytes))
+		n.vol.Add(stats.VolData, int64(p.PayloadBytes))
+	}
+}
+
+// Volume returns accumulated application traffic volume by kind.
+func (n *Network) Volume() stats.Volume { return n.vol }
+
+// PacketsSent returns the count of application and cross-traffic packets.
+func (n *Network) PacketsSent() int64 { return n.packetsSent }
+
+// Retries returns how many endpoint deliveries were back-pressured.
+func (n *Network) Retries() int64 { return n.retries }
+
+// CrossTrafficStats returns injected cross-traffic packet and byte counts.
+func (n *Network) CrossTrafficStats() (packets, bytes int64) {
+	return n.xPackets, n.xBytes
+}
+
+// BisectionCrossings returns bytes that crossed the mesh's X bisection,
+// split into application and cross-traffic bytes.
+func (n *Network) BisectionCrossings() (app, cross int64) {
+	return n.appBisectionBytes, n.xBisectionBytes
+}
+
+// CrossTraffic describes the paper's bisection-emulation workload: I/O
+// nodes on both edges of the mesh stream fixed-size messages across the
+// bisection in both directions (Figure 6).
+type CrossTraffic struct {
+	// MsgBytes is the cross-traffic message size (the paper settles on 64).
+	MsgBytes int
+	// BytesPerCycle is the aggregate injection rate across the bisection,
+	// in bytes per processor cycle (this is what is subtracted from the
+	// native bisection to obtain the emulated bisection).
+	BytesPerCycle float64
+}
+
+// StartCrossTraffic launches cross-traffic generators: one per row per
+// direction, each sending MsgBytes-sized packets across the full width of
+// the mesh at an even share of the aggregate rate. Generators run until
+// StopCrossTraffic. Offsets are staggered deterministically to avoid
+// phase-locking artifacts.
+func (n *Network) StartCrossTraffic(ct CrossTraffic, clk sim.Clock) {
+	if n.cfg.Torus {
+		panic("mesh: cross-traffic bisection emulation requires a mesh (the paper's topology)")
+	}
+	if ct.BytesPerCycle <= 0 || ct.MsgBytes <= 0 {
+		return
+	}
+	n.stopX = false
+	gens := 2 * n.cfg.Height
+	perGen := ct.BytesPerCycle / float64(gens)
+	periodCycles := float64(ct.MsgBytes) / perGen
+	period := sim.Time(periodCycles * float64(clk.PsPerCycle()))
+	if period <= 0 {
+		period = 1
+	}
+	for g := 0; g < gens; g++ {
+		y := g / 2
+		eastbound := g%2 == 0
+		src, dst := n.ID(0, y), n.ID(n.cfg.Width-1, y)
+		if !eastbound {
+			src, dst = dst, src
+		}
+		offset := period * sim.Time(g) / sim.Time(gens)
+		n.scheduleXGen(src, dst, ct.MsgBytes, period, offset)
+	}
+}
+
+func (n *Network) scheduleXGen(src, dst, size int, period, offset sim.Time) {
+	var tick func()
+	tick = func() {
+		if n.stopX {
+			return
+		}
+		n.Send(&Packet{
+			Src: src, Dst: dst, Class: ClassXTraffic,
+			HdrBytes: 8, PayloadBytes: size - 8,
+		})
+		n.eng.After(period, tick)
+	}
+	n.eng.After(offset, tick)
+}
+
+// StopCrossTraffic halts all cross-traffic generators after their next
+// tick check.
+func (n *Network) StopCrossTraffic() { n.stopX = true }
+
+// LinkStats summarizes per-link load over an elapsed interval.
+type LinkStats struct {
+	AvgUtilization float64 // mean fraction of link time spent serializing
+	MaxUtilization float64 // the hottest link's fraction
+	Hotspot        string  // human-readable hottest link
+	TotalBytes     int64   // sum over all links (bytes x hops traversed)
+}
+
+// LinkStats computes utilization over the interval [0, elapsed]: a
+// link's utilization is its serialized bytes times PsPerByte over the
+// elapsed time. Use it to see where the paper's congestion-dominated
+// region comes from.
+func (n *Network) LinkStats(elapsed sim.Time) LinkStats {
+	if elapsed <= 0 {
+		return LinkStats{}
+	}
+	var st LinkStats
+	names := [4]string{"east", "west", "north", "south"}
+	links := 0
+	for d := range n.linkBytes {
+		for i, b := range n.linkBytes[d] {
+			st.TotalBytes += b
+			u := float64(b) * float64(n.cfg.PsPerByte) / float64(elapsed)
+			st.AvgUtilization += u
+			links++
+			if u > st.MaxUtilization {
+				st.MaxUtilization = u
+				st.Hotspot = fmt.Sprintf("%s link %d", names[d], i)
+			}
+		}
+	}
+	if links > 0 {
+		st.AvgUtilization /= float64(links)
+	}
+	return st
+}
+
+// UncongestedLatency returns the no-contention delivery time for a packet
+// of size bytes over hops hops.
+func (n *Network) UncongestedLatency(hops, size int) sim.Time {
+	return sim.Time(hops+1)*n.cfg.HopLatency + sim.Time(size)*n.cfg.PsPerByte
+}
+
+// AvgHops returns the average dimension-order distance between distinct
+// compute nodes, useful for calibration.
+func (n *Network) AvgHops() float64 {
+	total, pairs := 0, 0
+	for s := 0; s < n.Nodes(); s++ {
+		for d := 0; d < n.Nodes(); d++ {
+			if s == d {
+				continue
+			}
+			total += n.Hops(s, d)
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}

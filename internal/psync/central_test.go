@@ -1,0 +1,95 @@
+package psync
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSMCentralBarrierSynchronizes(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	b := NewSMCentralBarrier(m)
+	var maxBefore, minAfter int64 = 0, 1 << 62
+	m.Run(func(p *machine.Proc) {
+		p.Compute(int64(p.ID) * 90)
+		if c := p.NowCycles(); c > maxBefore {
+			maxBefore = c
+		}
+		b.Wait(p)
+		if c := p.NowCycles(); c < minAfter {
+			minAfter = c
+		}
+	})
+	if minAfter < maxBefore {
+		t.Errorf("left central barrier at %d before last arrival %d", minAfter, maxBefore)
+	}
+}
+
+func TestSMCentralBarrierReusable(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	b := NewSMCentralBarrier(m)
+	counts := make([]int, 32)
+	m.Run(func(p *machine.Proc) {
+		for it := 0; it < 4; it++ {
+			counts[p.ID]++
+			b.Wait(p)
+			for _, c := range counts {
+				if c != counts[p.ID] {
+					t.Errorf("skew after central barrier: %v", counts)
+					return
+				}
+			}
+			b.Wait(p)
+		}
+	})
+}
+
+func TestTreeBarrierBeatsOrMatchesCentralUnderRepetition(t *testing.T) {
+	measure := func(central bool) int64 {
+		m := machine.New(machine.DefaultConfig())
+		var wait func(p *machine.Proc)
+		if central {
+			wait = NewSMCentralBarrier(m).Wait
+		} else {
+			wait = NewSMBarrier(m).Wait
+		}
+		return m.Run(func(p *machine.Proc) {
+			for i := 0; i < 10; i++ {
+				wait(p)
+			}
+		}).Cycles
+	}
+	tree, central := measure(false), measure(true)
+	if tree > central*11/10 {
+		t.Errorf("tree barrier %d cycles not competitive with central %d", tree, central)
+	}
+}
+
+func TestSMBarrierTreeStructure(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	b := NewSMBarrier(m)
+	// 32 procs, arity 4: 8 leaves + 2 mid + 1 root = 11 nodes.
+	if len(b.counters) != 11 {
+		t.Errorf("tree has %d nodes, want 11", len(b.counters))
+	}
+	roots := 0
+	for _, p := range b.parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("tree has %d roots", roots)
+	}
+	// Expected arrivals: leaves 4 each, mids 4, root 2.
+	total := 0
+	for i, e := range b.expect {
+		if e < 1 || e > barrierArity {
+			t.Errorf("node %d expects %d", i, e)
+		}
+		total += e
+	}
+	if total != 32+8+2 {
+		t.Errorf("total expected arrivals %d, want 42", total)
+	}
+}

@@ -1,0 +1,33 @@
+package psync
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestRCLockProtectedAccumulateExact(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Mem.Consistency = mem.RC
+	m := machine.New(cfg)
+	// Block [lock, a0][a1, a2] like UNSTRUC's accumulators.
+	base := m.Alloc(0, 4)
+	l := LockAt(m, base)
+	const per = 20
+	m.Run(func(p *machine.Proc) {
+		for i := 0; i < per; i++ {
+			l.Acquire(p)
+			for k := 1; k <= 3; k++ {
+				ad := base + mem.Addr(k)
+				p.Write(ad, p.Read(ad)+1)
+			}
+			l.Release(p)
+		}
+	})
+	for k := 1; k <= 3; k++ {
+		if got := m.Store.Peek(base + mem.Addr(k)); got != 32*per {
+			t.Errorf("word %d = %v, want %d", k, got, 32*per)
+		}
+	}
+}

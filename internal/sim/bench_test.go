@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
+// simulator's fundamental speed limit.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkThreadHandoff measures the cooperative-scheduling round trip
+// (engine -> thread -> engine), the cost of every simulated blocking op.
+func BenchmarkThreadHandoff(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("t", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "fmt"
+
+// Clock converts between processor cycles and simulated time for a given
+// clock frequency. All Alewife processors share one clock (the paper's
+// clock-scaling experiment slows every node together), so a single Clock
+// serves a whole machine.
+type Clock struct {
+	psPerCycle Time
+}
+
+// NewClock returns a clock running at mhz megahertz. Frequencies that do
+// not divide evenly into picoseconds are rounded to the nearest picosecond
+// per cycle (exact for every frequency the paper uses: 14–20 MHz and the
+// Table 1 machines).
+func NewClock(mhz float64) Clock {
+	if mhz <= 0 {
+		panic(fmt.Sprintf("sim: non-positive clock frequency %v MHz", mhz))
+	}
+	return Clock{psPerCycle: Time(1e6/mhz + 0.5)}
+}
+
+// PsPerCycle returns the cycle period in picoseconds.
+func (c Clock) PsPerCycle() Time { return c.psPerCycle }
+
+// MHz returns the clock frequency in megahertz.
+func (c Clock) MHz() float64 { return 1e6 / float64(c.psPerCycle) }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.psPerCycle }
+
+// ToCycles converts a duration to whole cycles, rounding to nearest.
+func (c Clock) ToCycles(t Time) int64 {
+	return (int64(t) + int64(c.psPerCycle)/2) / int64(c.psPerCycle)
+}
+
+// ToCyclesF converts a duration to fractional cycles.
+func (c Clock) ToCyclesF(t Time) float64 {
+	return float64(t) / float64(c.psPerCycle)
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClock20MHz(t *testing.T) {
+	c := NewClock(20)
+	if c.PsPerCycle() != 50000 {
+		t.Errorf("20MHz period = %d ps, want 50000", c.PsPerCycle())
+	}
+	if c.Cycles(10) != 500000 {
+		t.Errorf("10 cycles = %d ps, want 500000", c.Cycles(10))
+	}
+	if got := c.ToCycles(500000); got != 10 {
+		t.Errorf("ToCycles(500000) = %d, want 10", got)
+	}
+}
+
+func TestClockPaperRange(t *testing.T) {
+	// The paper scales 14..20 MHz; every one of these must round-trip
+	// cycle counts exactly.
+	for mhz := 14.0; mhz <= 20.0; mhz++ {
+		c := NewClock(mhz)
+		for _, n := range []int64{0, 1, 7, 1000, 1 << 30} {
+			if got := c.ToCycles(c.Cycles(n)); got != n {
+				t.Errorf("%vMHz: round-trip of %d cycles = %d", mhz, n, got)
+			}
+		}
+	}
+}
+
+func TestClockMHz(t *testing.T) {
+	for _, mhz := range []float64{14, 16, 20, 33, 50, 100, 150, 200, 300} {
+		c := NewClock(mhz)
+		if math.Abs(c.MHz()-mhz)/mhz > 1e-3 {
+			t.Errorf("NewClock(%v).MHz() = %v", mhz, c.MHz())
+		}
+	}
+}
+
+func TestClockToCyclesRounds(t *testing.T) {
+	c := NewClock(20) // 50000 ps/cycle
+	if got := c.ToCycles(74999); got != 1 {
+		t.Errorf("ToCycles(74999) = %d, want 1", got)
+	}
+	if got := c.ToCycles(75000); got != 2 {
+		t.Errorf("ToCycles(75000) = %d, want 2", got)
+	}
+}
+
+func TestClockToCyclesF(t *testing.T) {
+	c := NewClock(20)
+	if got := c.ToCyclesF(25000); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ToCyclesF(25000) = %v, want 0.5", got)
+	}
+}
+
+func TestClockNonPositivePanics(t *testing.T) {
+	for _, mhz := range []float64{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewClock(%v) did not panic", mhz)
+				}
+			}()
+			NewClock(mhz)
+		}()
+	}
+}
+
+// Property: cycle conversion is monotone and additive at 20 MHz.
+func TestClockAdditiveProperty(t *testing.T) {
+	c := NewClock(20)
+	prop := func(a, b uint16) bool {
+		return c.Cycles(int64(a))+c.Cycles(int64(b)) == c.Cycles(int64(a)+int64(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

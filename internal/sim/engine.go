@@ -1,0 +1,163 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperatively scheduled simulated threads.
+//
+// Simulated time is measured in integer picoseconds (Time). Events fire in
+// nondecreasing time order; ties are broken by scheduling order, so a
+// simulation is fully deterministic given deterministic inputs. Exactly one
+// simulated thread runs at any moment (strict channel handoff between the
+// engine goroutine and thread goroutines), so simulation state never needs
+// locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in picoseconds. The zero Time is the
+// beginning of the simulation.
+type Time int64
+
+// Common durations expressed in Time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// dispatched counts events executed; useful for progress limits.
+	dispatched uint64
+	// limit, if nonzero, aborts Run after this many events (runaway guard).
+	limit uint64
+}
+
+// NewEngine returns an engine with simulated time at zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched reports how many events have executed so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// SetEventLimit aborts Run with a panic after n dispatched events. Zero
+// (the default) means no limit. It exists to turn accidental infinite
+// simulations into immediate failures in tests.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// At schedules fn to run at absolute time t. Scheduling an event in the
+// past (t < Now) panics: it indicates a model bug that would silently
+// corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at %v, now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue is empty or Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events in time order until the queue is empty, Stop is
+// called, or the next event would fire after deadline. Time advances to at
+// most deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.dispatched++
+	if e.limit != 0 && e.dispatched > e.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
+	}
+	ev.fn()
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// ThreadState describes the lifecycle of a simulated thread.
+type ThreadState int
+
+const (
+	// ThreadNew has been spawned but its start event has not fired yet.
+	ThreadNew ThreadState = iota
+	// ThreadRunning currently holds control (its body is executing).
+	ThreadRunning
+	// ThreadPaused has yielded and waits for a Wake.
+	ThreadPaused
+	// ThreadDone has returned from its body.
+	ThreadDone
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadNew:
+		return "new"
+	case ThreadRunning:
+		return "running"
+	case ThreadPaused:
+		return "paused"
+	case ThreadDone:
+		return "done"
+	}
+	return fmt.Sprintf("ThreadState(%d)", int(s))
+}
+
+// Thread is a cooperatively scheduled simulated thread. A thread's body
+// runs on its own goroutine, but control is handed off strictly: while the
+// body executes, the engine goroutine (and every other thread) is blocked,
+// so the body may freely read and mutate simulation state and schedule
+// events. A body gives up control only through Pause (or by returning).
+//
+// A paused thread is resumed by exactly one pending Wake; issuing a second
+// Wake for an already-woken thread is a model bug and panics.
+type Thread struct {
+	eng   *Engine
+	name  string
+	state ThreadState
+
+	resume chan struct{} // engine -> thread: run now
+	yield  chan struct{} // thread -> engine: control returned
+
+	wakePending bool
+	panicVal    interface{}
+}
+
+// Spawn creates a thread named name whose body starts at absolute time at.
+// The body runs to completion unless it pauses; Spawn itself returns
+// immediately (the thread first runs when the engine reaches time at).
+func (e *Engine) Spawn(name string, at Time, body func(*Thread)) *Thread {
+	th := &Thread{
+		eng:    e,
+		name:   name,
+		state:  ThreadNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-th.resume
+		defer func() {
+			if r := recover(); r != nil {
+				th.panicVal = r
+			}
+			th.state = ThreadDone
+			th.yield <- struct{}{}
+		}()
+		body(th)
+	}()
+	th.wakePending = true
+	e.At(at, th.dispatch)
+	return th
+}
+
+// SpawnNow is Spawn at the current simulated time.
+func (e *Engine) SpawnNow(name string, body func(*Thread)) *Thread {
+	return e.Spawn(name, e.now, body)
+}
+
+// dispatch transfers control to the thread and blocks until it yields.
+// It runs in engine context (as an event callback).
+func (th *Thread) dispatch() {
+	if th.state == ThreadDone {
+		panic(fmt.Sprintf("sim: wake of finished thread %q", th.name))
+	}
+	th.wakePending = false
+	th.state = ThreadRunning
+	th.resume <- struct{}{}
+	<-th.yield
+	if th.state == ThreadDone && th.panicVal != nil {
+		// Re-raise body panics on the engine goroutine so tests see them.
+		panic(fmt.Sprintf("sim: thread %q panicked: %v", th.name, th.panicVal))
+	}
+}
+
+// Engine returns the engine this thread belongs to.
+func (th *Thread) Engine() *Engine { return th.eng }
+
+// Name returns the thread's name.
+func (th *Thread) Name() string { return th.name }
+
+// State returns the thread's lifecycle state.
+func (th *Thread) State() ThreadState { return th.state }
+
+// Now returns the current simulated time.
+func (th *Thread) Now() Time { return th.eng.Now() }
+
+// Pause yields control until a Wake fires. It must only be called from the
+// thread's own body. The caller must arrange (before pausing or from
+// another context afterwards) exactly one WakeAt/WakeAfter.
+func (th *Thread) Pause() {
+	if th.state != ThreadRunning {
+		panic(fmt.Sprintf("sim: Pause on %s thread %q", th.state, th.name))
+	}
+	th.state = ThreadPaused
+	th.yield <- struct{}{}
+	<-th.resume
+	th.state = ThreadRunning
+}
+
+// WakeAt schedules the thread to resume at absolute time t. It may be
+// called from any context that currently holds control (the engine or
+// another thread), including the thread's own body immediately before
+// Pause. Exactly one wake may be pending at a time.
+func (th *Thread) WakeAt(t Time) {
+	if th.state == ThreadDone {
+		panic(fmt.Sprintf("sim: WakeAt on finished thread %q", th.name))
+	}
+	if th.wakePending {
+		panic(fmt.Sprintf("sim: duplicate wake for thread %q", th.name))
+	}
+	th.wakePending = true
+	th.eng.At(t, th.dispatch)
+}
+
+// WakeAfter schedules the thread to resume d picoseconds from now.
+func (th *Thread) WakeAfter(d Time) { th.WakeAt(th.eng.Now() + d) }
+
+// WakePending reports whether a wake event is already scheduled.
+func (th *Thread) WakePending() bool { return th.wakePending }
+
+// Sleep pauses the thread for duration d of simulated time.
+func (th *Thread) Sleep(d Time) {
+	th.WakeAfter(d)
+	th.Pause()
+}

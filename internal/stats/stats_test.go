@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestVolumeAddAndTotal(t *testing.T) {
+	var v Volume
+	v.Add(VolInvalidates, 8)
+	v.Add(VolRequests, 16)
+	v.Add(VolHeaders, 24)
+	v.Add(VolData, 32)
+	v.Add(VolData, 8)
+	if v.Bytes[VolData] != 40 {
+		t.Errorf("data bytes = %d, want 40", v.Bytes[VolData])
+	}
+	if v.Total() != 88 {
+		t.Errorf("total = %d, want 88", v.Total())
+	}
+}
+
+func TestVolumePlus(t *testing.T) {
+	a := Volume{Bytes: [numVolumeKinds]int64{1, 2, 3, 4}}
+	b := Volume{Bytes: [numVolumeKinds]int64{10, 20, 30, 40}}
+	c := a.Plus(b)
+	want := [numVolumeKinds]int64{11, 22, 33, 44}
+	if c.Bytes != want {
+		t.Errorf("Plus = %v, want %v", c.Bytes, want)
+	}
+}
+
+// Property: Plus is commutative and Total distributes over Plus.
+func TestVolumePlusProperty(t *testing.T) {
+	prop := func(a, b [4]int16) bool {
+		var va, vb Volume
+		for i := 0; i < 4; i++ {
+			va.Bytes[i] = int64(a[i])
+			vb.Bytes[i] = int64(b[i])
+		}
+		ab := va.Plus(vb)
+		ba := vb.Plus(va)
+		return ab == ba && ab.Total() == va.Total()+vb.Total()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeKindStrings(t *testing.T) {
+	want := []string{"invalidates", "requests", "headers", "data"}
+	for k := VolumeKind(0); k < numVolumeKinds; k++ {
+		if k.String() != want[k] {
+			t.Errorf("kind %d = %q, want %q", int(k), k.String(), want[k])
+		}
+	}
+	if !strings.Contains(VolumeKind(9).String(), "9") {
+		t.Error("unknown kind string should include the value")
+	}
+}
+
+func TestBreakdownAddTotalFrac(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BucketSync, 10)
+	bd.Add(BucketMsgOverhead, 20)
+	bd.Add(BucketMemWait, 30)
+	bd.Add(BucketCompute, 40)
+	if bd.Total() != 100 {
+		t.Errorf("total = %v, want 100", bd.Total())
+	}
+	if f := bd.Frac(BucketCompute); f != 0.4 {
+		t.Errorf("compute frac = %v, want 0.4", f)
+	}
+	var empty Breakdown
+	if empty.Frac(BucketSync) != 0 {
+		t.Error("empty breakdown frac should be 0")
+	}
+}
+
+func TestBreakdownPlus(t *testing.T) {
+	a := Breakdown{T: [numTimeBuckets]sim.Time{1, 2, 3, 4}}
+	b := Breakdown{T: [numTimeBuckets]sim.Time{5, 6, 7, 8}}
+	c := a.Plus(b)
+	if c.T != [numTimeBuckets]sim.Time{6, 8, 10, 12} {
+		t.Errorf("Plus = %v", c.T)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BucketSync, sim.Nanosecond)
+	s := bd.String()
+	for _, want := range []string{"sync", "msg-overhead", "mem+ni-wait", "compute"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTimeBucketStrings(t *testing.T) {
+	want := []string{"sync", "msg-overhead", "mem+ni-wait", "compute"}
+	for b := TimeBucket(0); b < numTimeBuckets; b++ {
+		if b.String() != want[b] {
+			t.Errorf("bucket %d = %q, want %q", int(b), b.String(), want[b])
+		}
+	}
+	if !strings.Contains(TimeBucket(7).String(), "7") {
+		t.Error("unknown bucket string should include the value")
+	}
+}
+
+func TestEventsPlusAllFields(t *testing.T) {
+	// Fill every field of one operand with a distinct value and verify
+	// Plus preserves all of them (guards against forgotten fields).
+	a := Events{
+		LocalMisses: 1, RemoteMissesCln: 2, RemoteMissesDty: 3,
+		LimitLESSTraps: 4, Invalidations: 5, WriteBacks: 6, Upgrades: 7,
+		MessagesSent: 8, MessagesRecv: 9, Interrupts: 10, Polls: 11,
+		PollHits: 12, BulkTransfers: 13, BulkBytes: 14,
+		PrefetchIssued: 15, PrefetchUseful: 16, PrefetchUseless: 17,
+		LockAcquires: 18, LockSpins: 19, BarrierArrivals: 20,
+		NIQueueFullStall: 21, XTrafficPackets: 22, XTrafficBytes: 23,
+	}
+	sum := a.Plus(a)
+	if sum != (Events{
+		LocalMisses: 2, RemoteMissesCln: 4, RemoteMissesDty: 6,
+		LimitLESSTraps: 8, Invalidations: 10, WriteBacks: 12, Upgrades: 14,
+		MessagesSent: 16, MessagesRecv: 18, Interrupts: 20, Polls: 22,
+		PollHits: 24, BulkTransfers: 26, BulkBytes: 28,
+		PrefetchIssued: 30, PrefetchUseful: 32, PrefetchUseless: 34,
+		LockAcquires: 36, LockSpins: 38, BarrierArrivals: 40,
+		NIQueueFullStall: 42, XTrafficPackets: 44, XTrafficBytes: 46,
+	}) {
+		t.Errorf("Plus dropped a field: %+v", sum)
+	}
+	if a.RemoteMisses() != 5 {
+		t.Errorf("RemoteMisses = %d, want 5", a.RemoteMisses())
+	}
+}

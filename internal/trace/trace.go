@@ -1,0 +1,126 @@
+// Package trace is a lightweight bounded event trace for the simulator:
+// protocol and message events are recorded into a per-machine ring buffer
+// and dumped as text. It exists for debugging protocol behaviour (the
+// directory FIFO starvation this repository once had is obvious in a
+// trace) and for teaching: tracing a single cache line through a run
+// shows the paper's four-messages-per-value pattern directly.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Trace event kinds.
+const (
+	KMissStart Kind = iota // node began a miss transaction on line A (B=1 for write)
+	KMissEnd               // node completed a miss transaction on line A
+	KInval                 // node's cached copy of line A was invalidated
+	KMsgSend               // node sent an active message to node A (B=bytes)
+	KMsgRecv               // node handled an active message from node A
+	KBulk                  // node sent a bulk transfer to node A (B=payload bytes)
+	KBarrier               // node arrived at a barrier
+	KLock                  // node acquired (B=1) or released (B=0) the lock at A
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KMissStart:
+		return "miss-start"
+	case KMissEnd:
+		return "miss-end"
+	case KInval:
+		return "inval"
+	case KMsgSend:
+		return "msg-send"
+	case KMsgRecv:
+		return "msg-recv"
+	case KBulk:
+		return "bulk"
+	case KBarrier:
+		return "barrier"
+	case KLock:
+		return "lock"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	A, B int64 // kind-specific operands (line, peer, bytes, ...)
+}
+
+// Buffer is a fixed-capacity ring of events. The zero value is unusable;
+// create one with New. Not safe for concurrent use — the simulator is
+// single-threaded by construction.
+type Buffer struct {
+	ring  []Event
+	next  int
+	total int64
+}
+
+// New creates a buffer holding the last cap events.
+func New(cap int) *Buffer {
+	if cap <= 0 {
+		panic(fmt.Sprintf("trace: non-positive capacity %d", cap))
+	}
+	return &Buffer{ring: make([]Event, 0, cap)}
+}
+
+// Add records an event, evicting the oldest when full.
+func (b *Buffer) Add(e Event) {
+	b.total++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+		return
+	}
+	b.ring[b.next] = e
+	b.next = (b.next + 1) % cap(b.ring)
+}
+
+// Total reports how many events were recorded over the run (including
+// evicted ones).
+func (b *Buffer) Total() int64 { return b.total }
+
+// Events returns the retained events in recording order.
+func (b *Buffer) Events() []Event {
+	if len(b.ring) < cap(b.ring) {
+		out := make([]Event, len(b.ring))
+		copy(out, b.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Filter returns retained events matching kind (any node if node < 0).
+func (b *Buffer) Filter(kind Kind, node int) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == kind && (node < 0 || e.Node == node) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events as text, timestamps in cycles.
+func (b *Buffer) Dump(w io.Writer, clk sim.Clock) {
+	for _, e := range b.Events() {
+		fmt.Fprintf(w, "%10d  node %2d  %-10s  a=%d b=%d\n",
+			clk.ToCycles(e.At), e.Node, e.Kind, e.A, e.B)
+	}
+	if dropped := b.total - int64(len(b.ring)); dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
+	}
+}

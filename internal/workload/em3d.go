@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EM3DParams parameterizes the EM3D bipartite graph exactly as the paper
+// reports its configuration: "10000 nodes, degree 10, 20 percent
+// non-local edges, span of 3, and 50 iterations".
+type EM3DParams struct {
+	Nodes     int     // nodes per side (E and H each)
+	Degree    int     // edges per E node
+	PctRemote float64 // fraction of edges to other processors
+	Span      int     // remote edges reach at most this many processors away
+	Iters     int     // iterations (two phases each)
+	Procs     int
+	Seed      int64
+}
+
+// DefaultEM3DParams returns the paper's configuration.
+func DefaultEM3DParams() EM3DParams {
+	return EM3DParams{Nodes: 10000, Degree: 10, PctRemote: 0.20, Span: 3, Iters: 50, Procs: 32, Seed: 1}
+}
+
+// Scaled returns a proportionally reduced instance for fast sweeps.
+func (p EM3DParams) Scaled(nodes, iters int) EM3DParams {
+	p.Nodes, p.Iters = nodes, iters
+	return p
+}
+
+// EM3DGraph is the generated bipartite graph. E node i is owned by
+// Owner[i]; its H-side neighbors are EAdj[i] with coefficients ECoef[i].
+// The H side mirrors this. Ownership is blocked: node i lives on
+// processor i*P/N (both sides partitioned identically, so edge
+// remoteness is controlled purely by the generator).
+type EM3DGraph struct {
+	P     EM3DParams
+	EAdj  [][]int32   // E -> H neighbor lists
+	ECoef [][]float64 // per-edge coefficients for the E update
+	HAdj  [][]int32   // H -> E neighbor lists
+	HCoef [][]float64
+	Owner []int32 // owner of node i (same for both sides)
+	EInit []float64
+	HInit []float64
+}
+
+// NewEM3D generates the graph deterministically from p.Seed.
+func NewEM3D(p EM3DParams) *EM3DGraph {
+	if p.Nodes < p.Procs {
+		panic(fmt.Sprintf("workload: EM3D with %d nodes < %d procs", p.Nodes, p.Procs))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &EM3DGraph{P: p}
+	n := p.Nodes
+	// Index ranges per processor; ownership derives from the same block
+	// boundaries so that every consumer of the ranges agrees (i*P/N and
+	// its inverse disagree at boundaries when P does not divide N).
+	starts := make([]int, p.Procs+1)
+	for pr := 0; pr <= p.Procs; pr++ {
+		starts[pr] = pr * n / p.Procs
+	}
+	g.Owner = make([]int32, n)
+	for pr := 0; pr < p.Procs; pr++ {
+		for i := starts[pr]; i < starts[pr+1]; i++ {
+			g.Owner[i] = int32(pr)
+		}
+	}
+	pick := func(pr int) int32 {
+		lo, hi := starts[pr], starts[pr+1]
+		return int32(lo + rng.Intn(hi-lo))
+	}
+	gen := func() (adj [][]int32, coef [][]float64) {
+		adj = make([][]int32, n)
+		coef = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			owner := int(g.Owner[i])
+			adj[i] = make([]int32, p.Degree)
+			coef[i] = make([]float64, p.Degree)
+			for d := 0; d < p.Degree; d++ {
+				pr := owner
+				if rng.Float64() < p.PctRemote {
+					// Remote within +-Span processors, wrapping.
+					off := 1 + rng.Intn(p.Span)
+					if rng.Intn(2) == 0 {
+						off = -off
+					}
+					pr = ((owner+off)%p.Procs + p.Procs) % p.Procs
+				}
+				adj[i][d] = pick(pr)
+				coef[i][d] = rng.Float64()*0.02 - 0.01
+			}
+		}
+		return adj, coef
+	}
+	g.EAdj, g.ECoef = gen()
+	g.HAdj, g.HCoef = gen()
+	g.EInit = make([]float64, n)
+	g.HInit = make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.EInit[i] = rng.Float64()
+		g.HInit[i] = rng.Float64()
+	}
+	return g
+}
+
+// RemoteEdgeFraction reports the achieved fraction of remote edges.
+func (g *EM3DGraph) RemoteEdgeFraction() float64 {
+	remote, total := 0, 0
+	count := func(adj [][]int32) {
+		for i, nbrs := range adj {
+			for _, j := range nbrs {
+				total++
+				if g.Owner[i] != g.Owner[j] {
+					remote++
+				}
+			}
+		}
+	}
+	count(g.EAdj)
+	count(g.HAdj)
+	return float64(remote) / float64(total)
+}
+
+// Reference runs the sequential EM3D computation for iters iterations
+// and returns the final E and H values. One iteration is an E phase
+// (each E node accumulates coef*H over its neighbors) then an H phase.
+func (g *EM3DGraph) Reference(iters int) (e, h []float64) {
+	e = append([]float64(nil), g.EInit...)
+	h = append([]float64(nil), g.HInit...)
+	for it := 0; it < iters; it++ {
+		for i := range e {
+			for d, j := range g.EAdj[i] {
+				e[i] -= g.ECoef[i][d] * h[j]
+			}
+		}
+		for i := range h {
+			for d, j := range g.HAdj[i] {
+				h[i] -= g.HCoef[i][d] * e[j]
+			}
+		}
+	}
+	return e, h
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MoldynParams parameterizes the molecular-dynamics box: molecules
+// uniformly distributed over a cuboidal region with a Maxwellian
+// distribution of initial velocities, interaction lists built from twice
+// the cutoff radius every ListEvery iterations, RCB partitioning — all as
+// the paper describes.
+type MoldynParams struct {
+	Molecules int
+	Box       float64 // cube side
+	Cutoff    float64 // force cutoff radius
+	Iters     int
+	ListEvery int // rebuild interaction list every this many iterations
+	Procs     int
+	Seed      int64
+}
+
+// DefaultMoldynParams gives a paper-character instance at tractable
+// size. The density (~0.5 molecules per unit volume) keeps neighbor
+// counts in the realistic tens, so RCB partitioning yields the locality
+// the paper's molecule groups have.
+func DefaultMoldynParams() MoldynParams {
+	return MoldynParams{
+		Molecules: 2048, Box: 16, Cutoff: 1.3,
+		Iters: 20, ListEvery: 20, Procs: 32, Seed: 4,
+	}
+}
+
+// ScaledBox returns a reduced instance with density preserved.
+func (p MoldynParams) ScaledBox(n, iters int) MoldynParams {
+	ratio := float64(n) / float64(p.Molecules)
+	p.Box *= cbrt(ratio)
+	p.Molecules, p.Iters = n, iters
+	return p
+}
+
+func cbrt(v float64) float64 {
+	x := v
+	for i := 0; i < 60; i++ {
+		x = (2*x + v/(x*x)) / 3
+	}
+	return x
+}
+
+// Scaled returns a reduced instance.
+func (p MoldynParams) Scaled(n, iters int) MoldynParams {
+	p.Molecules, p.Iters = n, iters
+	return p
+}
+
+// MoldynBox is the generated initial condition plus partitioning.
+type MoldynBox struct {
+	P    MoldynParams
+	Pos  []Point3
+	Vel  []Point3
+	Part []int
+}
+
+// NewMoldyn generates the box deterministically.
+func NewMoldyn(p MoldynParams) *MoldynBox {
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := &MoldynBox{P: p}
+	b.Pos = make([]Point3, p.Molecules)
+	b.Vel = make([]Point3, p.Molecules)
+	for i := range b.Pos {
+		b.Pos[i] = Point3{
+			X: rng.Float64() * p.Box,
+			Y: rng.Float64() * p.Box,
+			Z: rng.Float64() * p.Box,
+		}
+		// Maxwellian: each component normal.
+		b.Vel[i] = Point3{
+			X: rng.NormFloat64() * 0.1,
+			Y: rng.NormFloat64() * 0.1,
+			Z: rng.NormFloat64() * 0.1,
+		}
+	}
+	b.Part = RCB(b.Pos, p.Procs)
+	return b
+}
+
+// MoldynFlopsPerInteraction approximates the per-pair force computation
+// cost in FLOP-equivalents: distance, cutoff test, the force evaluation
+// (whose divide and square root each cost tens of cycles on a Sparcle
+// FPU), and two 3-vector accumulations. This is what makes MOLDYN the
+// paper's compute-dominated application.
+const MoldynFlopsPerInteraction = 110
+
+// BuildPairs returns the interaction list: all unordered pairs within
+// twice the cutoff radius of each other at the given positions, exactly
+// the paper's list-building rule. Pairs are (i, j) with i < j, ordered
+// deterministically.
+func BuildPairs(pos []Point3, box, cutoff float64) [][2]int32 {
+	r := 2 * cutoff
+	cells := int(box / r)
+	if cells < 1 {
+		cells = 1
+	}
+	cw := box / float64(cells)
+	cellOf := func(p Point3) (int, int, int) {
+		c := func(v float64) int {
+			i := int(v / cw)
+			if i >= cells {
+				i = cells - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+			return i
+		}
+		return c(p.X), c(p.Y), c(p.Z)
+	}
+	bins := make([][]int32, cells*cells*cells)
+	at := func(x, y, z int) int { return x + y*cells + z*cells*cells }
+	for i, p := range pos {
+		x, y, z := cellOf(p)
+		bins[at(x, y, z)] = append(bins[at(x, y, z)], int32(i))
+	}
+	var pairs [][2]int32
+	r2 := r * r
+	for x := 0; x < cells; x++ {
+		for y := 0; y < cells; y++ {
+			for z := 0; z < cells; z++ {
+				home := bins[at(x, y, z)]
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny, nz := x+dx, y+dy, z+dz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= cells || ny >= cells || nz >= cells {
+								continue
+							}
+							for _, i := range home {
+								for _, j := range bins[at(nx, ny, nz)] {
+									if j <= i {
+										continue
+									}
+									d := dist2(pos[i], pos[j])
+									if d <= r2 {
+										pairs = append(pairs, [2]int32{i, j})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func dist2(a, b Point3) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return dx*dx + dy*dy + dz*dz
+}
+
+// PairForce computes the force contribution of pair (i,j) at the given
+// positions: a soft short-range repulsion inside the cutoff, zero
+// outside. It returns the force on i (j receives the negation).
+func PairForce(pi, pj Point3, cutoff float64) Point3 {
+	d2 := dist2(pi, pj)
+	c2 := cutoff * cutoff
+	if d2 >= c2 || d2 == 0 {
+		return Point3{}
+	}
+	// Soft repulsion: magnitude ~ (1 - d2/c2)^2 along the displacement.
+	s := 1 - d2/c2
+	mag := 0.05 * s * s / math.Sqrt(d2)
+	return Point3{
+		X: (pi.X - pj.X) * mag,
+		Y: (pi.Y - pj.Y) * mag,
+		Z: (pi.Z - pj.Z) * mag,
+	}
+}
+
+// Step advances positions and velocities one timestep given accumulated
+// forces (unit mass, dt folded into constants).
+func Step(pos, vel, force []Point3) {
+	const dt = 0.05
+	for i := range pos {
+		vel[i].X += dt * force[i].X
+		vel[i].Y += dt * force[i].Y
+		vel[i].Z += dt * force[i].Z
+		pos[i].X += dt * vel[i].X
+		pos[i].Y += dt * vel[i].Y
+		pos[i].Z += dt * vel[i].Z
+	}
+}
+
+// Reference runs the sequential MD for Iters iterations and returns final
+// positions and velocities.
+func (b *MoldynBox) Reference() (pos, vel []Point3) {
+	pos = append([]Point3(nil), b.Pos...)
+	vel = append([]Point3(nil), b.Vel...)
+	var pairs [][2]int32
+	force := make([]Point3, len(pos))
+	for it := 0; it < b.P.Iters; it++ {
+		if it%b.P.ListEvery == 0 {
+			pairs = BuildPairs(pos, b.P.Box, b.P.Cutoff)
+		}
+		for i := range force {
+			force[i] = Point3{}
+		}
+		for _, pr := range pairs {
+			i, j := pr[0], pr[1]
+			f := PairForce(pos[i], pos[j], b.P.Cutoff)
+			force[i].X += f.X
+			force[i].Y += f.Y
+			force[i].Z += f.Z
+			force[j].X -= f.X
+			force[j].Y -= f.Y
+			force[j].Z -= f.Z
+		}
+		Step(pos, vel, force)
+	}
+	return pos, vel
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// UnstrucParams parameterizes the synthetic 3-D unstructured mesh used in
+// place of the paper's MESH2K input (2000-node irregular mesh shipped
+// with the original code, not distributable here). The generator places
+// nodes on a jittered 3-D grid and connects grid neighbors, dropping and
+// adding edges randomly for irregular degree.
+type UnstrucParams struct {
+	Nodes int
+	Iters int
+	Procs int
+	Seed  int64
+}
+
+// DefaultUnstrucParams matches the paper's 2000-node mesh.
+func DefaultUnstrucParams() UnstrucParams {
+	return UnstrucParams{Nodes: 2000, Iters: 10, Procs: 32, Seed: 2}
+}
+
+// Scaled returns a reduced instance.
+func (p UnstrucParams) Scaled(nodes, iters int) UnstrucParams {
+	p.Nodes, p.Iters = nodes, iters
+	return p
+}
+
+// UnstrucMesh is the generated mesh. Each undirected edge appears once in
+// Edges as an (A, B) pair; Faces connect four nodes (grid quads), as in
+// the paper's "faces that connect three or four nodes". Part assigns
+// nodes to processors by RCB.
+type UnstrucMesh struct {
+	P      UnstrucParams
+	Coords []Point3
+	Edges  [][2]int32
+	Faces  [][4]int32
+	Part   []int
+	Init   [][3]float64 // initial 3-component state per node
+	// NodeEdges[i] lists edge indices incident to node i.
+	NodeEdges [][]int32
+}
+
+// NewUnstruc generates a mesh deterministically.
+func NewUnstruc(p UnstrucParams) *UnstrucMesh {
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := &UnstrucMesh{P: p}
+
+	// Grid dimensions: smallest cube covering Nodes.
+	side := 1
+	for side*side*side < p.Nodes {
+		side++
+	}
+	m.Coords = make([]Point3, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		x, y, z := i%side, (i/side)%side, i/(side*side)
+		m.Coords[i] = Point3{
+			X: (float64(x) + 0.8*rng.Float64()) / float64(side),
+			Y: (float64(y) + 0.8*rng.Float64()) / float64(side),
+			Z: (float64(z) + 0.8*rng.Float64()) / float64(side),
+		}
+	}
+	at := func(x, y, z int) int { return x + y*side + z*side*side }
+	addEdge := func(a, b int) {
+		if a < p.Nodes && b < p.Nodes && a != b {
+			m.Edges = append(m.Edges, [2]int32{int32(a), int32(b)})
+		}
+	}
+	for i := 0; i < p.Nodes; i++ {
+		x, y, z := i%side, (i/side)%side, i/(side*side)
+		// Grid neighbors (+x, +y, +z to avoid duplicates), ~15% dropped.
+		if x+1 < side && rng.Float64() > 0.15 {
+			addEdge(i, at(x+1, y, z))
+		}
+		if y+1 < side && rng.Float64() > 0.15 {
+			addEdge(i, at(x, y+1, z))
+		}
+		if z+1 < side && rng.Float64() > 0.15 {
+			addEdge(i, at(x, y, z+1))
+		}
+		// Occasional long-range edge (face diagonals), irregularizing.
+		if rng.Float64() < 0.2 && x+1 < side && y+1 < side {
+			addEdge(i, at(x+1, y+1, z))
+		}
+	}
+	// Faces: grid quads in the XY plane of each layer, ~20% dropped for
+	// irregularity.
+	for z := 0; z < side; z++ {
+		for y := 0; y+1 < side; y++ {
+			for x := 0; x+1 < side; x++ {
+				a, b2 := at(x, y, z), at(x+1, y, z)
+				c, d := at(x+1, y+1, z), at(x, y+1, z)
+				if d < p.Nodes && c < p.Nodes && rng.Float64() > 0.2 {
+					m.Faces = append(m.Faces, [4]int32{int32(a), int32(b2), int32(c), int32(d)})
+				}
+			}
+		}
+	}
+	m.Part = RCB(m.Coords, p.Procs)
+	m.Init = make([][3]float64, p.Nodes)
+	for i := range m.Init {
+		for c := 0; c < 3; c++ {
+			m.Init[i][c] = rng.Float64()
+		}
+	}
+	m.NodeEdges = make([][]int32, p.Nodes)
+	for e, ed := range m.Edges {
+		m.NodeEdges[ed[0]] = append(m.NodeEdges[ed[0]], int32(e))
+		m.NodeEdges[ed[1]] = append(m.NodeEdges[ed[1]], int32(e))
+	}
+	return m
+}
+
+// EdgeContrib computes the 3-component edge interaction between node
+// states a and b. It stands in for the paper's 75-FLOP-per-edge flux
+// computation: the exact arithmetic is unimportant, the data movement
+// (read both endpoints, accumulate into both) is what the study measures.
+func EdgeContrib(a, b [3]float64) [3]float64 {
+	var c [3]float64
+	for k := 0; k < 3; k++ {
+		d := a[k] - b[k]
+		c[k] = d * (0.01 + 0.001*d*d)
+	}
+	return c
+}
+
+// UnstrucFlopsPerEdge is the per-edge compute cost in FLOPs per the paper.
+const UnstrucFlopsPerEdge = 75
+
+// UnstrucFlopsPerFace approximates the per-face flux computation.
+const UnstrucFlopsPerFace = 40
+
+// FaceContrib computes a face's 3-component contribution from its four
+// nodes' states; each node receives it with an alternating sign.
+func FaceContrib(a, b, c, d [3]float64) [3]float64 {
+	var out [3]float64
+	for k := 0; k < 3; k++ {
+		v := (a[k] + c[k]) - (b[k] + d[k])
+		out[k] = v * 0.005
+	}
+	return out
+}
+
+// Reference runs the sequential computation for iters iterations and
+// returns the final per-node state. Each iteration reads the buffered old
+// state, accumulates edge contributions into both endpoints, then applies
+// the accumulated update.
+func (m *UnstrucMesh) Reference(iters int) [][3]float64 {
+	state := make([][3]float64, len(m.Init))
+	copy(state, m.Init)
+	accum := make([][3]float64, len(state))
+	for it := 0; it < iters; it++ {
+		for i := range accum {
+			accum[i] = [3]float64{}
+		}
+		for _, ed := range m.Edges {
+			a, b := ed[0], ed[1]
+			c := EdgeContrib(state[a], state[b])
+			for k := 0; k < 3; k++ {
+				accum[a][k] += c[k]
+				accum[b][k] -= c[k]
+			}
+		}
+		for _, fc := range m.Faces {
+			c := FaceContrib(state[fc[0]], state[fc[1]], state[fc[2]], state[fc[3]])
+			for k := 0; k < 3; k++ {
+				accum[fc[0]][k] += c[k]
+				accum[fc[1]][k] -= c[k]
+				accum[fc[2]][k] += c[k]
+				accum[fc[3]][k] -= c[k]
+			}
+		}
+		for i := range state {
+			for k := 0; k < 3; k++ {
+				state[i][k] += 0.1 * accum[i][k]
+			}
+		}
+	}
+	return state
+}
+
+// RemoteEdgeFraction reports the fraction of edges crossing partitions.
+func (m *UnstrucMesh) RemoteEdgeFraction() float64 {
+	remote := 0
+	for _, ed := range m.Edges {
+		if m.Part[ed[0]] != m.Part[ed[1]] {
+			remote++
+		}
+	}
+	return float64(remote) / float64(len(m.Edges))
+}

@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestRunDefaultsMachine(t *testing.T) {
+	res, err := Run(Config{App: EM3D, Mechanism: SM, Scale: ScaleTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if res.Bisection < 17 || res.Bisection > 19 {
+		t.Errorf("default machine bisection %.1f, want ~18", res.Bisection)
+	}
+}
+
+func TestRunAllAppsAllMechanisms(t *testing.T) {
+	for _, app := range Apps {
+		for _, mech := range Mechanisms {
+			res, err := Run(Config{App: app, Mechanism: mech, Scale: ScaleTiny})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, mech, err)
+			}
+			if res.Cycles <= 0 {
+				t.Fatalf("%s/%s: empty result", app, mech)
+			}
+		}
+	}
+}
+
+func TestBisectionSweepFacade(t *testing.T) {
+	pts, err := BisectionSweep(EM3D, []Mechanism{SM, MPPoll}, []float64{0, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The paper's Figure 8 claim is about absolute runtime curves: the
+	// high-volume shared-memory curve rises faster (in cycles) than the
+	// message-passing curve as bandwidth drops.
+	smSlow := pts[1].Results[SM].Cycles - pts[0].Results[SM].Cycles
+	mpSlow := pts[1].Results[MPPoll].Cycles - pts[0].Results[MPPoll].Cycles
+	if smSlow <= 0 {
+		t.Error("SM did not slow down with reduced bisection")
+	}
+	if smSlow <= mpSlow {
+		t.Errorf("SM slowed by %d cycles, MP by %d; SM should lose more", smSlow, mpSlow)
+	}
+}
+
+func TestLatencySweepFacade(t *testing.T) {
+	pts, err := LatencySweep(EM3D, []Mechanism{SM, MPPoll}, []int64{15, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Results[SM].Cycles <= pts[0].Results[SM].Cycles {
+		t.Error("SM insensitive to emulated latency")
+	}
+	if pts[1].Results[MPPoll].Cycles != pts[0].Results[MPPoll].Cycles {
+		t.Error("MP reference curve moved")
+	}
+}
+
+func TestClockSweepFacade(t *testing.T) {
+	pts, err := ClockSweep(EM3D, []Mechanism{SM}, []float64{20, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].X >= pts[0].X {
+		t.Error("slower clock should lower relative network latency")
+	}
+}
+
+func TestMissPenaltiesFacade(t *testing.T) {
+	mp := MeasureMissPenalties(DefaultMachine())
+	if mp.LocalRead < 8 || mp.LocalRead > 20 {
+		t.Errorf("local read = %.1f, want ~11", mp.LocalRead)
+	}
+	if mp.RemoteCleanRead <= mp.LocalRead {
+		t.Error("remote read should exceed local")
+	}
+}
+
+func TestCrossoverFacade(t *testing.T) {
+	pts, err := BisectionSweep(EM3D, []Mechanism{SM, MPPoll}, []float64{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether or not it crosses at this scale, the call must be stable.
+	if x, found := Crossover(pts, SM, MPPoll); found && (x < 0 || x > 20) {
+		t.Errorf("crossover out of range: %.1f", x)
+	}
+}
+
+func TestEmulateMachineFacade(t *testing.T) {
+	cfg, note, err := EmulateMachine("Stanford DASH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !note.SharedMemory {
+		t.Error("DASH supports shared memory")
+	}
+	res, err := Run(Config{App: EM3D, Mechanism: SM, Scale: ScaleTiny, Machine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("empty emulated run")
+	}
+	if _, _, err := EmulateMachine("VAX"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestTableMachinesFacade(t *testing.T) {
+	if len(TableMachines()) != 14 {
+		t.Errorf("Table 1 has %d rows", len(TableMachines()))
+	}
+}
+
+func TestMeasureLogPFacade(t *testing.T) {
+	lp := MeasureLogP(DefaultMachine())
+	if lp.P != 32 || lp.O <= 0 {
+		t.Errorf("implausible LogP: %+v", lp)
+	}
+}
+
+func TestWithRelaxedConsistencyFacade(t *testing.T) {
+	cfg := WithRelaxedConsistency(DefaultMachine())
+	res, err := Run(Config{App: EM3D, Mechanism: SM, Scale: ScaleTiny, Machine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("empty RC run")
+	}
+}
