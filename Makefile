@@ -1,0 +1,26 @@
+# Tier-1 verification plus the race-certified concurrency surface.
+# `make check` is the gate every PR must pass.
+
+GO ?= go
+
+.PHONY: check build test race bench
+
+check: build race test
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runner and the event engine are the only concurrent code;
+# certify them under the race detector on every check.
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# Performance tracking: event-engine allocation profile and serial vs
+# parallel sweep throughput.
+bench:
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkThreadHandoff' -benchmem -run xxx ./internal/sim/
+	$(GO) test -bench 'BenchmarkClockSweep|BenchmarkContextSwitchSweepMemoized' -benchtime 3x -run xxx ./internal/core/

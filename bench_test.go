@@ -2,6 +2,8 @@ package repro
 
 // One benchmark per table and figure of the paper's evaluation, plus
 // ablation benchmarks for the design choices called out in DESIGN.md.
+// Sweep benchmarks run on a fresh core.Runner per iteration so run
+// memoization cannot turn later iterations into cache lookups.
 // Each benchmark regenerates its artifact's data and reports the headline
 // quantity as a custom metric, so `go test -bench . -benchmem` doubles as
 // the reproduction harness. Workloads run at reduced scales (documented
@@ -27,7 +29,7 @@ var benchSweepMechs = []Mechanism{SM, SMPrefetch, MPPoll}
 // regions (the measured version of the conceptual Figure 1).
 func BenchmarkFig1Regions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := core.BisectionSweep(core.EM3D, core.ScaleSweep,
+		pts, err := core.NewRunner(0).BisectionSweep(core.EM3D, core.ScaleSweep,
 			[]Mechanism{SM, MPPoll}, machine.DefaultConfig(), []float64{0, 8, 14, 16}, 64)
 		if err != nil {
 			b.Fatal(err)
@@ -43,7 +45,7 @@ func BenchmarkFig1Regions(b *testing.B) {
 // (the measured version of the conceptual Figure 2).
 func BenchmarkFig2Regions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := core.ContextSwitchSweep(core.EM3D, core.ScaleSweep,
+		pts, err := core.NewRunner(0).ContextSwitchSweep(core.EM3D, core.ScaleSweep,
 			[]Mechanism{SM, MPPoll}, machine.DefaultConfig(), []int64{15, 50, 100, 200})
 		if err != nil {
 			b.Fatal(err)
@@ -116,7 +118,7 @@ func BenchmarkFig5Volume(b *testing.B) {
 func BenchmarkFig7MsgLen(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		pts, err := core.MsgLenSweep(core.EM3D, core.ScaleSweep, SM,
+		pts, err := core.NewRunner(0).MsgLenSweep(core.EM3D, core.ScaleSweep, SM,
 			machine.DefaultConfig(), 10, []int{16, 64, 256})
 		if err != nil {
 			b.Fatal(err)
@@ -145,7 +147,7 @@ func BenchmarkFig8Bisection(b *testing.B) {
 		b.Run(string(app), func(b *testing.B) {
 			var extra float64
 			for i := 0; i < b.N; i++ {
-				pts, err := core.BisectionSweep(app, core.ScaleSweep, benchSweepMechs,
+				pts, err := core.NewRunner(0).BisectionSweep(app, core.ScaleSweep, benchSweepMechs,
 					machine.DefaultConfig(), []float64{0, 12, 16}, 64)
 				if err != nil {
 					b.Fatal(err)
@@ -165,7 +167,7 @@ func BenchmarkFig8Bisection(b *testing.B) {
 func BenchmarkFig9ClockScaling(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		pts, err := core.ClockSweep(core.EM3D, core.ScaleSweep, benchSweepMechs,
+		pts, err := core.NewRunner(0).ClockSweep(core.EM3D, core.ScaleSweep, benchSweepMechs,
 			machine.DefaultConfig(), []float64{20, 14})
 		if err != nil {
 			b.Fatal(err)
@@ -181,7 +183,7 @@ func BenchmarkFig9ClockScaling(b *testing.B) {
 func BenchmarkFig10ContextSwitch(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		pts, err := core.ContextSwitchSweep(core.EM3D, core.ScaleSweep, benchSweepMechs,
+		pts, err := core.NewRunner(0).ContextSwitchSweep(core.EM3D, core.ScaleSweep, benchSweepMechs,
 			machine.DefaultConfig(), []int64{15, 100})
 		if err != nil {
 			b.Fatal(err)
@@ -286,7 +288,7 @@ func BenchmarkAblationInterruptInterval(b *testing.B) {
 func BenchmarkAblationCrossMsgSize(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		pts, err := core.MsgLenSweep(core.EM3D, core.ScaleTiny, SM,
+		pts, err := core.NewRunner(0).MsgLenSweep(core.EM3D, core.ScaleTiny, SM,
 			machine.DefaultConfig(), 10, []int{16, 256})
 		if err != nil {
 			b.Fatal(err)

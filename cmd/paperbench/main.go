@@ -31,7 +31,17 @@ func main() {
 	scaleName := flag.String("scale", "", "workload scale override (tiny, sweep, default, full)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	modelCmp := flag.Bool("model", false, "print the analytical model vs simulator comparison")
+	jobs := flag.Int("j", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 	flag.Parse()
+
+	core.SetDefaultWorkers(*jobs)
+	defer func() {
+		hits, executed := core.DefaultRunner.Stats()
+		if executed > 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: %d simulations on %d workers (%d cache hits)\n",
+				executed, core.DefaultRunner.Workers(), hits)
+		}
+	}()
 
 	writeCSV := func(name string, fn func(w *os.File) error) {
 		if *csvDir == "" {

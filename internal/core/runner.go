@@ -1,0 +1,281 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/mesh"
+)
+
+// Runner executes experiment runs on a worker pool with memoization.
+// Simulations are isolated per machine.New and workloads are generated
+// from fixed seeds, so a run's result depends only on its RunConfig;
+// the runner exploits both properties: identical configurations execute
+// once (single-flight, cached), and distinct configurations execute
+// concurrently. Results are bit-identical to serial execution.
+//
+// A Runner is safe for concurrent use. Cached results are shared — treat
+// RunResult (including its PerProc slice and Trace buffer) as read-only.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[RunConfig]*runnerEntry
+
+	hits     atomic.Uint64
+	executed atomic.Uint64
+}
+
+// runnerEntry is one memoized (possibly in-flight) run.
+type runnerEntry struct {
+	done chan struct{} // closed when res/err are valid
+	res  RunResult
+	err  error
+}
+
+// NewRunner returns a runner with the given worker-pool width; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: make(map[RunConfig]*runnerEntry)}
+}
+
+// DefaultRunner executes the package-level sweep functions. Its cache
+// persists across sweeps, so e.g. regenerating Figure 8 after Figure 7
+// reuses any overlapping points.
+var DefaultRunner = NewRunner(0)
+
+// SetDefaultWorkers resets the default runner to n workers (n <= 0 means
+// GOMAXPROCS) with a fresh cache. It is not safe to call concurrently
+// with sweeps on the default runner.
+func SetDefaultWorkers(n int) { DefaultRunner = NewRunner(n) }
+
+// Workers reports the pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats reports how many runs were served from cache and how many
+// actually executed a simulation.
+func (r *Runner) Stats() (hits, executed uint64) {
+	return r.hits.Load(), r.executed.Load()
+}
+
+// ClearCache drops all memoized results.
+func (r *Runner) ClearCache() {
+	r.mu.Lock()
+	r.cache = make(map[RunConfig]*runnerEntry)
+	r.mu.Unlock()
+}
+
+// fingerprint canonicalizes rc into the cache key: knobs that cannot
+// affect the simulation are normalized away so incidentally-different
+// configurations still dedupe. machine.Config is comparable (scalars
+// only), so the canonical RunConfig is itself the key.
+func fingerprint(rc RunConfig) RunConfig {
+	if rc.Machine.CrossTraffic.BytesPerCycle == 0 {
+		// Cross-traffic is only started for a nonzero rate; the message
+		// size is inert without it.
+		rc.Machine.CrossTraffic = mesh.CrossTraffic{}
+	}
+	return rc
+}
+
+// Run executes one configuration, memoized and single-flight: the first
+// caller for a fingerprint runs the simulation, concurrent duplicates
+// block on it, later duplicates return the cached result immediately.
+func (r *Runner) Run(rc RunConfig) (RunResult, error) {
+	key := fingerprint(rc)
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if ok {
+		r.mu.Unlock()
+		r.hits.Add(1)
+		<-e.done
+		return e.res, e.err
+	}
+	e = &runnerEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	r.executed.Add(1)
+	e.res, e.err = Run(rc)
+	close(e.done)
+	return e.res, e.err
+}
+
+// RunBatch executes configurations on the worker pool and returns their
+// results in input order. On error it returns the first error encountered
+// in input order among completed jobs; remaining jobs are abandoned.
+func (r *Runner) RunBatch(rcs []RunConfig) ([]RunResult, error) {
+	out := make([]RunResult, len(rcs))
+	workers := r.workers
+	if workers > len(rcs) {
+		workers = len(rcs)
+	}
+	if workers <= 1 {
+		for i, rc := range rcs {
+			res, err := r.Run(rc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		firstI  int
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1))
+				if i >= len(rcs) {
+					return
+				}
+				res, err := r.Run(rcs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstEr == nil || i < firstI {
+						firstI, firstEr = i, err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+// sweepJobs fans out the cross-product of per-point machine configs and
+// mechanisms, then folds the results back into ordered SweepPoints. This
+// is the common core of the Bisection/Clock/MsgLen sweeps; the
+// ContextSwitch sweep has its own fold (reference mechanisms are hoisted
+// out of the point loop).
+func (r *Runner) sweepJobs(app AppName, sc Scale, mechs []apps.Mechanism, cfgs []machine.Config, xs []float64) ([]SweepPoint, error) {
+	jobs := make([]RunConfig, 0, len(cfgs)*len(mechs))
+	for _, cfg := range cfgs {
+		for _, mech := range mechs {
+			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
+		}
+	}
+	results, err := r.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(cfgs))
+	for pi := range cfgs {
+		pt := SweepPoint{X: xs[pi], Results: make(map[apps.Mechanism]RunResult, len(mechs))}
+		for mi, mech := range mechs {
+			pt.Results[mech] = results[pi*len(mechs)+mi]
+		}
+		out[pi] = pt
+	}
+	return out, nil
+}
+
+// BisectionSweep is the parallel, memoized form of the package-level
+// BisectionSweep (Figure 8 methodology).
+func (r *Runner) BisectionSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, crossRates []float64, msgBytes int) ([]SweepPoint, error) {
+	cfgs := make([]machine.Config, len(crossRates))
+	xs := make([]float64, len(crossRates))
+	native := mesh.Config{Width: base.Width, Height: base.Height, HopLatency: base.HopLatency, PsPerByte: base.PsPerByte}.
+		BisectionBytesPerCycle(clockOf(base))
+	for i, rate := range crossRates {
+		cfg := base
+		if rate > 0 {
+			cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: msgBytes, BytesPerCycle: rate}
+		}
+		cfgs[i] = cfg
+		xs[i] = native - rate
+	}
+	return r.sweepJobs(app, sc, mechs, cfgs, xs)
+}
+
+// ClockSweep is the parallel, memoized form of the package-level
+// ClockSweep (Figure 9 methodology).
+func (r *Runner) ClockSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, mhzs []float64) ([]SweepPoint, error) {
+	cfgs := make([]machine.Config, len(mhzs))
+	xs := make([]float64, len(mhzs))
+	for i, mhz := range mhzs {
+		cfg := base
+		cfg.ClockMHz = mhz
+		cfgs[i] = cfg
+		xs[i] = NetLatencyCycles(cfg)
+	}
+	return r.sweepJobs(app, sc, mechs, cfgs, xs)
+}
+
+// ContextSwitchSweep is the parallel, memoized form of the package-level
+// ContextSwitchSweep (Figure 10 methodology). The emulated latency only
+// applies to the shared-memory mechanisms; the message-passing curves are
+// flat reference lines, so those runs are hoisted out of the per-latency
+// loop and executed once each, independent of the memo cache.
+func (r *Runner) ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, oneWayCycles []int64) ([]SweepPoint, error) {
+	var refMechs, swMechs []apps.Mechanism
+	for _, mech := range mechs {
+		if mech.UsesMessages() {
+			refMechs = append(refMechs, mech)
+		} else {
+			swMechs = append(swMechs, mech)
+		}
+	}
+	jobs := make([]RunConfig, 0, len(refMechs)+len(oneWayCycles)*len(swMechs))
+	for _, mech := range refMechs {
+		jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: base, SkipValidate: true})
+	}
+	for _, lat := range oneWayCycles {
+		cfg := base
+		cfg.IdealNetOneWayCycles = lat
+		for _, mech := range swMechs {
+			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
+		}
+	}
+	results, err := r.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(oneWayCycles))
+	for pi, lat := range oneWayCycles {
+		pt := SweepPoint{X: float64(lat), Results: make(map[apps.Mechanism]RunResult, len(mechs))}
+		for mi, mech := range refMechs {
+			pt.Results[mech] = results[mi]
+		}
+		for mi, mech := range swMechs {
+			pt.Results[mech] = results[len(refMechs)+pi*len(swMechs)+mi]
+		}
+		out[pi] = pt
+	}
+	return out, nil
+}
+
+// MsgLenSweep is the parallel, memoized form of the package-level
+// MsgLenSweep (Figure 7 methodology).
+func (r *Runner) MsgLenSweep(app AppName, sc Scale, mech apps.Mechanism, base machine.Config, crossRate float64, sizes []int) ([]SweepPoint, error) {
+	cfgs := make([]machine.Config, len(sizes))
+	xs := make([]float64, len(sizes))
+	for i, size := range sizes {
+		cfg := base
+		cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: size, BytesPerCycle: crossRate}
+		cfgs[i] = cfg
+		xs[i] = float64(size)
+	}
+	return r.sweepJobs(app, sc, []apps.Mechanism{mech}, cfgs, xs)
+}

@@ -14,18 +14,11 @@ type SweepPoint struct {
 	Results map[apps.Mechanism]RunResult
 }
 
-// runPoint executes all mechanisms at one machine configuration.
-func runPoint(app AppName, sc Scale, mechs []apps.Mechanism, cfg machine.Config, x float64) (SweepPoint, error) {
-	pt := SweepPoint{X: x, Results: make(map[apps.Mechanism]RunResult, len(mechs))}
-	for _, mech := range mechs {
-		r, err := Run(RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
-		if err != nil {
-			return pt, err
-		}
-		pt.Results[mech] = r
-	}
-	return pt, nil
-}
+// The package-level sweep functions run on DefaultRunner: points and
+// mechanisms execute concurrently on a worker pool and identical
+// configurations are memoized, with results bit-identical to serial
+// execution (simulations are isolated per machine.New). Use a *Runner
+// directly for an isolated cache or an explicit worker count.
 
 // BisectionSweep reproduces the Figure 8 methodology: I/O cross-traffic
 // consumes crossRates[i] bytes/cycle of the bisection; each point's X is
@@ -33,21 +26,7 @@ func runPoint(app AppName, sc Scale, mechs []apps.Mechanism, cfg machine.Config,
 // processor cycle. msgBytes is the cross-traffic message size (the paper
 // settles on 64 after Figure 7).
 func BisectionSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, crossRates []float64, msgBytes int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, rate := range crossRates {
-		cfg := base
-		if rate > 0 {
-			cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: msgBytes, BytesPerCycle: rate}
-		}
-		native := mesh.Config{Width: cfg.Width, Height: cfg.Height, HopLatency: cfg.HopLatency, PsPerByte: cfg.PsPerByte}.
-			BisectionBytesPerCycle(clockOf(cfg))
-		pt, err := runPoint(app, sc, mechs, cfg, native-rate)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return DefaultRunner.BisectionSweep(app, sc, mechs, base, crossRates, msgBytes)
 }
 
 // ClockSweep reproduces the Figure 9 methodology: the processor clock
@@ -56,43 +35,18 @@ func BisectionSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.
 // one-way network latency of a 24-byte packet in processor cycles over
 // the average distance (the paper's Table 1 convention).
 func ClockSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, mhzs []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, mhz := range mhzs {
-		cfg := base
-		cfg.ClockMHz = mhz
-		pt, err := runPoint(app, sc, mechs, cfg, NetLatencyCycles(cfg))
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return DefaultRunner.ClockSweep(app, sc, mechs, base, mhzs)
 }
 
 // ContextSwitchSweep reproduces the Figure 10 methodology: every remote
 // miss costs a uniform emulated latency over an ideal network (infinite
 // bandwidth). Only the shared-memory mechanisms are affected; the paper
 // plots message-passing curves for reference only, and so does this
-// sweep (their machine config is untouched). X is the emulated one-way
-// latency in processor cycles.
+// sweep (their machine config is untouched, so they execute once and are
+// shared across points). X is the emulated one-way latency in processor
+// cycles.
 func ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, oneWayCycles []int64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, lat := range oneWayCycles {
-		pt := SweepPoint{X: float64(lat), Results: make(map[apps.Mechanism]RunResult, len(mechs))}
-		for _, mech := range mechs {
-			cfg := base
-			if !mech.UsesMessages() {
-				cfg.IdealNetOneWayCycles = lat
-			}
-			r, err := Run(RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
-			if err != nil {
-				return out, err
-			}
-			pt.Results[mech] = r
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return DefaultRunner.ContextSwitchSweep(app, sc, mechs, base, oneWayCycles)
 }
 
 // MsgLenSweep reproduces Figure 7: the sensitivity of the bisection
@@ -101,17 +55,7 @@ func ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanism, base mach
 // in bytes, and the result records the application runtime plus the
 // achieved cross-traffic rate.
 func MsgLenSweep(app AppName, sc Scale, mech apps.Mechanism, base machine.Config, crossRate float64, sizes []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, size := range sizes {
-		cfg := base
-		cfg.CrossTraffic = mesh.CrossTraffic{MsgBytes: size, BytesPerCycle: crossRate}
-		pt, err := runPoint(app, sc, []apps.Mechanism{mech}, cfg, float64(size))
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return DefaultRunner.MsgLenSweep(app, sc, mech, base, crossRate, sizes)
 }
 
 // NetLatencyCycles returns the one-way delivery time of a 24-byte packet
@@ -128,19 +72,28 @@ func NetLatencyCycles(cfg machine.Config) float64 {
 
 // Crossover scans a sweep (ordered by X) for the first X interval where
 // mechanism a's runtime goes from faster to slower than b's, returning
-// the interpolated crossing X.
+// the interpolated crossing X. Points that did not measure both
+// mechanisms (partial mechanism sets) are skipped explicitly: the scan
+// compares each measured point against the previous point that measured
+// both, and a sweep with fewer than two such points reports no crossing.
 func Crossover(points []SweepPoint, a, b apps.Mechanism) (x float64, found bool) {
-	for i := 1; i < len(points); i++ {
-		p0, p1 := points[i-1], points[i]
-		d0 := float64(p0.Results[a].Cycles - p0.Results[b].Cycles)
-		d1 := float64(p1.Results[a].Cycles - p1.Results[b].Cycles)
-		if d0 == d1 {
+	prev := -1 // index of the last point with both mechanisms measured
+	for i := range points {
+		ra, okA := points[i].Results[a]
+		rb, okB := points[i].Results[b]
+		if !okA || !okB {
 			continue
 		}
-		if (d0 <= 0 && d1 > 0) || (d0 >= 0 && d1 < 0) {
-			frac := -d0 / (d1 - d0)
-			return p0.X + frac*(p1.X-p0.X), true
+		if prev >= 0 {
+			p0, p1 := points[prev], points[i]
+			d0 := float64(p0.Results[a].Cycles - p0.Results[b].Cycles)
+			d1 := float64(ra.Cycles - rb.Cycles)
+			if d0 != d1 && ((d0 <= 0 && d1 > 0) || (d0 >= 0 && d1 < 0)) {
+				frac := -d0 / (d1 - d0)
+				return p0.X + frac*(p1.X-p0.X), true
+			}
 		}
+		prev = i
 	}
 	return 0, false
 }

@@ -26,17 +26,22 @@ type Fig4Row struct {
 }
 
 // Fig4Data runs all four applications under all five mechanisms on the
-// base machine.
+// base machine. The 20 runs execute on core.DefaultRunner's worker pool;
+// row order matches the serial nesting (app-major, mechanism-minor).
 func Fig4Data(sc core.Scale, cfg machine.Config) ([]Fig4Row, error) {
-	var rows []Fig4Row
+	var jobs []core.RunConfig
 	for _, app := range core.AppNames {
 		for _, mech := range apps.Mechanisms {
-			r, err := core.Run(core.RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig4Row{App: app, Res: r})
+			jobs = append(jobs, core.RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg})
 		}
+	}
+	results, err := core.DefaultRunner.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, len(results))
+	for i, r := range results {
+		rows[i] = Fig4Row{App: jobs[i].App, Res: r}
 	}
 	return rows, nil
 }

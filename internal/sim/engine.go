@@ -9,10 +9,7 @@
 // locking.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in picoseconds. The zero Time is the
 // beginning of the simulation.
@@ -39,40 +36,33 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value inside the
+// engine's heap slab, so scheduling one costs no heap allocation beyond
+// the caller's closure (and occasional slab growth, amortized away by the
+// preallocated backing array).
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among same-time events
 	fn  func()
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// initialHeapCap is the event slab's starting capacity. A simulation
+// schedules millions of events; starting at a few thousand makes slab
+// growth a one-off cost instead of a steady-state one, while a bare
+// engine (clock tests, microbenchmarks) stays cheap.
+const initialHeapCap = 4096
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// events is a binary min-heap ordered by (at, seq), stored by value:
+	// the slice is the slab, there are no per-event allocations and no
+	// interface boxing (unlike container/heap). (at, seq) is a total
+	// order — seq is unique — so dispatch order is independent of the
+	// heap's treatment of equal elements.
+	events  []event
 	stopped bool
 
 	// dispatched counts events executed; useful for progress limits.
@@ -84,7 +74,7 @@ type Engine struct {
 // NewEngine returns an engine with simulated time at zero and an empty
 // event queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{events: make([]event, 0, initialHeapCap)}
 }
 
 // Now returns the current simulated time.
@@ -106,7 +96,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled in the past: at %v, now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d picoseconds from now. Negative d panics.
@@ -115,6 +105,58 @@ func (e *Engine) After(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	e.At(e.now+d, fn)
+}
+
+// less orders heap slots by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap (sift-up).
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated slab
+// slot is zeroed so the callback closure can be collected.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	e.events = h[:n]
+	// Sift the relocated last element down to its place.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.less(l, min) {
+			min = l
+		}
+		if r < n && e.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		e.events[i], e.events[min] = e.events[min], e.events[i]
+		i = min
+	}
+	return top
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -150,7 +192,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.dispatched++
 	if e.limit != 0 && e.dispatched > e.limit {

@@ -108,6 +108,15 @@ func Run(c Config) (Result, error) {
 // SweepPoint is one X position of a parametric experiment.
 type SweepPoint = core.SweepPoint
 
+// SetParallelism sets the worker-pool width used by the sweep functions
+// (n <= 0 means all cores; 1 means serial) and drops the run cache.
+// Sweeps fan individual simulations out over the pool and memoize them
+// by configuration; results are bit-identical to serial execution.
+func SetParallelism(n int) { core.SetDefaultWorkers(n) }
+
+// Parallelism reports the current sweep worker-pool width.
+func Parallelism() int { return core.DefaultRunner.Workers() }
+
 // DefaultCrossRates is the cross-traffic schedule of the Figure 8
 // bisection sweep (bytes per processor cycle consumed by I/O traffic).
 var DefaultCrossRates = []float64{0, 4, 8, 12, 14, 16}
