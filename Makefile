@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race bench
+.PHONY: check build test race bench fuzz
 
 check: build race test
 	$(GO) vet ./...
@@ -18,6 +18,13 @@ test:
 # certify them under the race detector on every check.
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# Short fixed-budget fuzz of the coherence protocol: random op programs
+# against the directory/cache invariant checker. Deterministic seeds run
+# in `make test`; this explores beyond them.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzProtocolOps -fuzztime $(FUZZTIME)
 
 # Performance tracking: event-engine allocation profile and serial vs
 # parallel sweep throughput.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/figures"
 	"repro/internal/machine"
 )
@@ -32,16 +33,36 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	modelCmp := flag.Bool("model", false, "print the analytical model vs simulator comparison")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
+	faults := flag.String("faults", "", "deterministic fault injection spec, e.g. "+
+		"'jitter:max=200ns,prob=0.1;outage:node=*,start=10us,dur=2us,every=50us' (robustness studies)")
+	seed := flag.Uint64("seed", 1, "fault schedule seed (used with -faults)")
 	flag.Parse()
 
+	if *faults != "" {
+		if _, err := fault.Parse(*faults); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	core.SetDefaultWorkers(*jobs)
-	defer func() {
+	// Stats and failures are reported explicitly (not deferred): failure
+	// reporting decides the exit code, and os.Exit skips defers.
+	report := func() int {
 		hits, executed := core.DefaultRunner.Stats()
 		if executed > 0 {
 			fmt.Fprintf(os.Stderr, "paperbench: %d simulations on %d workers (%d cache hits)\n",
 				executed, core.DefaultRunner.Workers(), hits)
 		}
-	}()
+		fails := core.DefaultRunner.Failures()
+		if len(fails) == 0 {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: %d run(s) FAILED; surviving points were still computed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %v\n", f)
+		}
+		return 1
+	}
 
 	writeCSV := func(name string, fn func(w *os.File) error) {
 		if *csvDir == "" {
@@ -63,6 +84,8 @@ func main() {
 
 	out := os.Stdout
 	cfg := machine.DefaultConfig()
+	cfg.FaultSpec = *faults
+	cfg.FaultSeed = *seed
 
 	appsToRun := core.AppNames
 	if *appFlag != "" {
@@ -220,5 +243,8 @@ func main() {
 	if !ranSomething {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if code := report(); code != 0 {
+		os.Exit(code)
 	}
 }

@@ -150,7 +150,25 @@ type System struct {
 	outFree []sim.Time
 
 	tr *trace.Buffer // optional event trace
+
+	// fault, when non-nil, injects endpoint drain stalls (the NI refuses
+	// deliveries during a stall window, exercising the mesh retry path).
+	fault DrainStaller
 }
+
+// DrainStaller injects endpoint drain stalls deterministically. It is
+// implemented by *fault.Injector; the interface keeps this package
+// decoupled from the fault package.
+type DrainStaller interface {
+	// DrainStalledUntil reports when node's NI resumes accepting
+	// deliveries for an attempt at time t (0 or <=t means no stall).
+	DrainStalledUntil(node int, t sim.Time) sim.Time
+}
+
+// SetFaultInjector attaches a drain-stall injector (nil disables it).
+// With no injector attached the delivery paths are byte-identical to a
+// fault-free build.
+func (s *System) SetFaultInjector(fi DrainStaller) { s.fault = fi }
 
 // SetTrace attaches an event trace buffer (nil disables tracing).
 func (s *System) SetTrace(tr *trace.Buffer) { s.tr = tr }
@@ -298,6 +316,12 @@ func (e endpoint) TryDeliver(now sim.Time, p *mesh.Packet) (bool, sim.Time) {
 	switch p.Class {
 	case mesh.ClassAM, mesh.ClassBulk:
 		ni := e.s.nis[e.node]
+		if e.s.fault != nil {
+			if u := e.s.fault.DrainStalledUntil(e.node, now); u > now {
+				ni.waitFull++
+				return false, u
+			}
+		}
 		if len(ni.q) >= e.s.par.InQueueCap {
 			ni.waitFull++
 			return false, now + e.s.clk.Cycles(e.s.par.RetryCycles)
@@ -403,6 +427,25 @@ func (s *System) charge(th *sim.Thread, bd *stats.Breakdown, cycles int64) {
 	d := s.clk.Cycles(cycles)
 	bd.Add(stats.BucketMsgOverhead, d)
 	th.Sleep(d)
+}
+
+// QueueDump lists the non-empty NI input queues (node, depth, head
+// message source/handler), at most max entries (0 = no limit). Used by
+// watchdog diagnostics when a run stalls.
+func (s *System) QueueDump(max int) []string {
+	var out []string
+	for node, ni := range s.nis {
+		if len(ni.q) == 0 {
+			continue
+		}
+		m := ni.q[0]
+		out = append(out, fmt.Sprintf("node %d NI queue depth %d (head: src=%d handler=%d bulk=%v)",
+			node, len(ni.q), m.src, m.handler, m.bulk))
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+	return out
 }
 
 // GatherScatterCycles returns the processor cost of copying words of

@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/unstruc"
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -147,23 +148,51 @@ type RunResult struct {
 	Trace *trace.Buffer
 }
 
+// RunError is a crashed run recovered into a value: the simulation
+// panicked (watchdog stall, protocol invariant violation, or an
+// application bug) instead of completing. When the panic was a watchdog
+// diagnostic, Stall carries it in structured form.
+type RunError struct {
+	App   AppName
+	Mech  apps.Mechanism
+	Panic string          // rendered panic value
+	Stall *sim.StallError // structured watchdog diagnostic, when available
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("core: %s/%s run failed: %s", e.App, e.Mech, e.Panic)
+}
+
 // Run builds a fresh machine, runs the app under the mechanism, validates
 // the numerical result against the sequential reference, and returns the
-// measurements.
-func Run(rc RunConfig) (RunResult, error) {
+// measurements. A panicking simulation is recovered into a *RunError
+// rather than crashing the process; the crashed machine's paused thread
+// goroutines are abandoned (they hold no locks and touch no shared state,
+// so abandonment is safe, but a pathological sweep of thousands of
+// crashing points would accumulate them).
+func Run(rc RunConfig) (res RunResult, err error) {
 	a, err := NewApp(rc.App, rc.Scale)
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			re := &RunError{App: rc.App, Mech: rc.Mech, Panic: fmt.Sprint(r)}
+			if se, ok := r.(*sim.StallError); ok {
+				re.Stall = se
+			}
+			res, err = RunResult{}, re
+		}
+	}()
 	m := machine.New(rc.Machine)
 	a.Setup(m, rc.Mech)
-	res := m.Run(a.Body)
+	mres := m.Run(a.Body)
 	if !rc.SkipValidate {
 		if err := a.Validate(); err != nil {
 			return RunResult{}, fmt.Errorf("core: %s/%s: %w", rc.App, rc.Mech, err)
 		}
 	}
-	return RunResult{Result: res, App: rc.App, Mech: rc.Mech, Trace: m.Trace}, nil
+	return RunResult{Result: mres, App: rc.App, Mech: rc.Mech, Trace: m.Trace}, nil
 }
 
 // MustRun is Run, panicking on error (for benchmarks and examples).

@@ -27,6 +27,9 @@ type Runner struct {
 
 	hits     atomic.Uint64
 	executed atomic.Uint64
+
+	failMu   sync.Mutex
+	failures []*RunError
 }
 
 // runnerEntry is one memoized (possibly in-flight) run.
@@ -71,6 +74,16 @@ func (r *Runner) ClearCache() {
 	r.mu.Unlock()
 }
 
+// Failures returns the crashed runs recovered so far, one per distinct
+// failing configuration (cache hits on a failed entry do not re-report).
+// Callers like paperbench use it to report sweep failures and exit
+// nonzero after letting the surviving points complete.
+func (r *Runner) Failures() []*RunError {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]*RunError(nil), r.failures...)
+}
+
 // fingerprint canonicalizes rc into the cache key: knobs that cannot
 // affect the simulation are normalized away so incidentally-different
 // configurations still dedupe. machine.Config is comparable (scalars
@@ -80,6 +93,10 @@ func fingerprint(rc RunConfig) RunConfig {
 		// Cross-traffic is only started for a nonzero rate; the message
 		// size is inert without it.
 		rc.Machine.CrossTraffic = mesh.CrossTraffic{}
+	}
+	if rc.Machine.FaultSpec == "" {
+		// The fault seed is inert without a fault spec.
+		rc.Machine.FaultSeed = 0
 	}
 	return rc
 }
@@ -102,6 +119,11 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 	r.mu.Unlock()
 	r.executed.Add(1)
 	e.res, e.err = Run(rc)
+	if re, ok := e.err.(*RunError); ok {
+		r.failMu.Lock()
+		r.failures = append(r.failures, re)
+		r.failMu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
@@ -164,11 +186,53 @@ func (r *Runner) RunBatch(rcs []RunConfig) ([]RunResult, error) {
 	return out, nil
 }
 
+// RunBatchAll executes every configuration on the worker pool, never
+// aborting: errs[i] is non-nil exactly where job i failed. Unlike
+// RunBatch, one crashing point leaves the rest of the batch completed —
+// this is the sweep runners' isolation guarantee.
+func (r *Runner) RunBatchAll(rcs []RunConfig) (out []RunResult, errs []error) {
+	out = make([]RunResult, len(rcs))
+	errs = make([]error, len(rcs))
+	workers := r.workers
+	if workers > len(rcs) {
+		workers = len(rcs)
+	}
+	if workers <= 1 {
+		for i, rc := range rcs {
+			out[i], errs[i] = r.Run(rc)
+		}
+		return out, errs
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(rcs) {
+					return
+				}
+				out[i], errs[i] = r.Run(rcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
 // sweepJobs fans out the cross-product of per-point machine configs and
 // mechanisms, then folds the results back into ordered SweepPoints. This
 // is the common core of the Bisection/Clock/MsgLen sweeps; the
 // ContextSwitch sweep has its own fold (reference mechanisms are hoisted
 // out of the point loop).
+//
+// Failed runs are isolated, not fatal: a crashing point is simply absent
+// from its SweepPoint.Results (downstream analysis like Crossover skips
+// partial mechanism sets), and the RunError is recorded on the Runner for
+// reporting via Failures. The sweep errors only when nothing succeeded.
 func (r *Runner) sweepJobs(app AppName, sc Scale, mechs []apps.Mechanism, cfgs []machine.Config, xs []float64) ([]SweepPoint, error) {
 	jobs := make([]RunConfig, 0, len(cfgs)*len(mechs))
 	for _, cfg := range cfgs {
@@ -176,19 +240,37 @@ func (r *Runner) sweepJobs(app AppName, sc Scale, mechs []apps.Mechanism, cfgs [
 			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
 		}
 	}
-	results, err := r.RunBatch(jobs)
-	if err != nil {
+	results, errs := r.RunBatchAll(jobs)
+	if err := allFailed(errs); err != nil {
 		return nil, err
 	}
 	out := make([]SweepPoint, len(cfgs))
 	for pi := range cfgs {
 		pt := SweepPoint{X: xs[pi], Results: make(map[apps.Mechanism]RunResult, len(mechs))}
 		for mi, mech := range mechs {
-			pt.Results[mech] = results[pi*len(mechs)+mi]
+			if j := pi*len(mechs) + mi; errs[j] == nil {
+				pt.Results[mech] = results[j]
+			}
 		}
 		out[pi] = pt
 	}
 	return out, nil
+}
+
+// allFailed returns the first error if every job in a nonempty batch
+// failed (a wholly failed sweep should surface, not return empty points),
+// and nil otherwise.
+func allFailed(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // BisectionSweep is the parallel, memoized form of the package-level
@@ -248,18 +330,22 @@ func (r *Runner) ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanis
 			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
 		}
 	}
-	results, err := r.RunBatch(jobs)
-	if err != nil {
+	results, errs := r.RunBatchAll(jobs)
+	if err := allFailed(errs); err != nil {
 		return nil, err
 	}
 	out := make([]SweepPoint, len(oneWayCycles))
 	for pi, lat := range oneWayCycles {
 		pt := SweepPoint{X: float64(lat), Results: make(map[apps.Mechanism]RunResult, len(mechs))}
 		for mi, mech := range refMechs {
-			pt.Results[mech] = results[mi]
+			if errs[mi] == nil {
+				pt.Results[mech] = results[mi]
+			}
 		}
 		for mi, mech := range swMechs {
-			pt.Results[mech] = results[len(refMechs)+pi*len(swMechs)+mi]
+			if j := len(refMechs) + pi*len(swMechs) + mi; errs[j] == nil {
+				pt.Results[mech] = results[j]
+			}
 		}
 		out[pi] = pt
 	}

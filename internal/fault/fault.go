@@ -1,0 +1,413 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulated machine: link-outage windows on mesh links, bounded per-packet
+// delay jitter, and endpoint drain stalls. It is the software analogue of
+// the perturbations the paper applies to running hardware (cross-traffic,
+// slowed clocks) and of the failure modes Alewife's CMMU recovers from
+// (a blocked network output queue trapping to software).
+//
+// Determinism is the core contract: an Injector's entire fault schedule is
+// a pure function of (Config, seed, query order). The simulator is
+// single-threaded and dispatches events in a total order, so two runs of
+// the same configuration with the same seed see byte-identical fault
+// schedules and therefore produce byte-identical results.
+//
+// Faults only delay traffic; they never drop it. Every injected fault is
+// therefore safe for protocol correctness — it stresses queueing,
+// back-pressure, and retry paths without requiring recovery logic the
+// modeled hardware does not have.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Window is one fault-activation window against a target node. With
+// Every == 0 the window opens once at Start for Dur; otherwise it reopens
+// every Every from Start onward (Dur must be < Every for the fault to
+// ever clear).
+type Window struct {
+	Node  int      // target node id; AllNodes targets every node
+	Start sim.Time // first opening
+	Dur   sim.Time // length of each opening
+	Every sim.Time // repeat period; 0 = one-shot
+}
+
+// AllNodes as a Window.Node targets every node.
+const AllNodes = -1
+
+// activeUntil returns the end of the window opening covering t, or 0 if
+// the window is closed at t.
+func (w Window) activeUntil(t sim.Time) sim.Time {
+	if t < w.Start {
+		return 0
+	}
+	if w.Every <= 0 {
+		if t < w.Start+w.Dur {
+			return w.Start + w.Dur
+		}
+		return 0
+	}
+	phase := (t - w.Start) % w.Every
+	if phase < w.Dur {
+		return t - phase + w.Dur
+	}
+	return 0
+}
+
+// matches reports whether the window targets node.
+func (w Window) matches(node int) bool { return w.Node == AllNodes || w.Node == node }
+
+// Jitter adds a bounded uniform extra delay to a fraction of packets.
+type Jitter struct {
+	Max  sim.Time // maximum extra delivery delay per packet; 0 disables
+	Prob float64  // fraction of packets jittered (0, 1]
+}
+
+// Config is a parsed fault specification. The zero value injects nothing.
+type Config struct {
+	Jitter  Jitter
+	Outages []Window // link outages: links incident to the node are blocked
+	Stalls  []Window // endpoint drain stalls: the node's NI refuses input
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.Jitter.Max > 0 || len(c.Outages) > 0 || len(c.Stalls) > 0
+}
+
+// String renders the canonical spec text that Parse accepts.
+func (c Config) String() string {
+	var parts []string
+	if c.Jitter.Max > 0 {
+		parts = append(parts, fmt.Sprintf("jitter:max=%s,prob=%g", fmtDur(c.Jitter.Max), c.Jitter.Prob))
+	}
+	clause := func(kind string, w Window) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s:node=%s,start=%s,dur=%s", kind, fmtNode(w.Node), fmtDur(w.Start), fmtDur(w.Dur))
+		if w.Every > 0 {
+			fmt.Fprintf(&b, ",every=%s", fmtDur(w.Every))
+		}
+		return b.String()
+	}
+	for _, w := range c.Outages {
+		parts = append(parts, clause("outage", w))
+	}
+	for _, w := range c.Stalls {
+		parts = append(parts, clause("stall", w))
+	}
+	return strings.Join(parts, ";")
+}
+
+func fmtNode(n int) string {
+	if n == AllNodes {
+		return "*"
+	}
+	return strconv.Itoa(n)
+}
+
+func fmtDur(t sim.Time) string {
+	switch {
+	case t >= sim.Millisecond && t%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	case t >= sim.Microsecond && t%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	case t >= sim.Nanosecond && t%sim.Nanosecond == 0:
+		return fmt.Sprintf("%dns", t/sim.Nanosecond)
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Parse reads a fault specification of semicolon-separated clauses:
+//
+//	jitter:max=<dur>,prob=<float>
+//	outage:node=<id|*>,start=<dur>,dur=<dur>[,every=<dur>]
+//	stall:node=<id|*>,start=<dur>,dur=<dur>[,every=<dur>]
+//
+// Durations take a ps/ns/us/ms suffix (e.g. 300ns, 40us). A node of "*"
+// (or -1) targets every node. Whitespace around clauses is ignored.
+func Parse(spec string) (Config, error) {
+	var c Config
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: clause %q: want kind:key=val,...", clause)
+		}
+		kv, err := parseKVs(rest)
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		switch kind {
+		case "jitter":
+			j, err := parseJitter(kv)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			if c.Jitter.Max > 0 {
+				return Config{}, fmt.Errorf("fault: duplicate jitter clause %q", clause)
+			}
+			c.Jitter = j
+		case "outage", "stall":
+			w, err := parseWindow(kv)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			if kind == "outage" {
+				c.Outages = append(c.Outages, w)
+			} else {
+				c.Stalls = append(c.Stalls, w)
+			}
+		default:
+			return Config{}, fmt.Errorf("fault: unknown clause kind %q (want jitter, outage, or stall)", kind)
+		}
+	}
+	return c, nil
+}
+
+func parseKVs(s string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad key=value pair %q", pair)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func parseJitter(kv map[string]string) (Jitter, error) {
+	var j Jitter
+	for k, v := range kv {
+		switch k {
+		case "max":
+			d, err := ParseDuration(v)
+			if err != nil {
+				return Jitter{}, err
+			}
+			j.Max = d
+		case "prob":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Jitter{}, fmt.Errorf("bad prob %q (want 0 < prob <= 1)", v)
+			}
+			j.Prob = p
+		default:
+			return Jitter{}, fmt.Errorf("unknown jitter key %q", k)
+		}
+	}
+	if j.Max <= 0 {
+		return Jitter{}, fmt.Errorf("jitter needs max=<dur> > 0")
+	}
+	if j.Prob == 0 {
+		j.Prob = 1
+	}
+	return j, nil
+}
+
+func parseWindow(kv map[string]string) (Window, error) {
+	w := Window{Node: AllNodes}
+	sawNode := false
+	for k, v := range kv {
+		switch k {
+		case "node":
+			sawNode = true
+			if v == "*" || v == "-1" {
+				w.Node = AllNodes
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Window{}, fmt.Errorf("bad node %q", v)
+			}
+			w.Node = n
+		case "start", "dur", "every":
+			d, err := ParseDuration(v)
+			if err != nil {
+				return Window{}, err
+			}
+			switch k {
+			case "start":
+				w.Start = d
+			case "dur":
+				w.Dur = d
+			case "every":
+				w.Every = d
+			}
+		default:
+			return Window{}, fmt.Errorf("unknown window key %q", k)
+		}
+	}
+	if !sawNode {
+		return Window{}, fmt.Errorf("window needs node=<id|*>")
+	}
+	if w.Dur <= 0 {
+		return Window{}, fmt.Errorf("window needs dur=<dur> > 0")
+	}
+	if w.Every > 0 && w.Dur >= w.Every {
+		return Window{}, fmt.Errorf("repeating window never closes: dur %v >= every %v", w.Dur, w.Every)
+	}
+	return w, nil
+}
+
+// ParseDuration reads a simulated duration with a ps/ns/us/ms suffix.
+func ParseDuration(s string) (sim.Time, error) {
+	units := []struct {
+		suffix string
+		scale  sim.Time
+	}{
+		{"ms", sim.Millisecond}, {"us", sim.Microsecond}, {"ns", sim.Nanosecond}, {"ps", sim.Picosecond},
+	}
+	for _, u := range units {
+		if v, ok := strings.CutSuffix(s, u.suffix); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+			return sim.Time(f * float64(u.scale)), nil
+		}
+	}
+	return 0, fmt.Errorf("bad duration %q (want e.g. 300ns, 40us)", s)
+}
+
+// Stats counts faults actually injected, so tests and reports can confirm
+// the schedule fired.
+type Stats struct {
+	Jittered      int64 // packets given extra delivery delay
+	OutageDelays  int64 // link reservations pushed past an outage window
+	StallRefusals int64 // endpoint deliveries refused during a stall window
+}
+
+// Injector is the live fault source attached to one simulated machine.
+// It is not safe for concurrent use; the simulator is single-threaded.
+type Injector struct {
+	cfg   Config
+	rng   uint64
+	stats Stats
+}
+
+// NewInjector builds an injector for cfg with the given schedule seed.
+func NewInjector(cfg Config, seed uint64) *Injector {
+	return &Injector{cfg: cfg, rng: splitmix64Init(seed)}
+}
+
+// Config returns the injector's fault configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns counts of faults injected so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// splitmix64: tiny, well-mixed, and stable across Go versions (unlike
+// math/rand's unexported algorithms), which keeps fault schedules
+// reproducible forever.
+func splitmix64Init(seed uint64) uint64 { return seed + 0x9e3779b97f4a7c15 }
+
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PacketJitter returns the extra delivery delay for the next packet
+// (possibly zero). It consumes deterministic schedule state, so callers
+// must invoke it exactly once per packet, in dispatch order.
+func (in *Injector) PacketJitter() sim.Time {
+	j := in.cfg.Jitter
+	if j.Max <= 0 {
+		return 0
+	}
+	r := in.next()
+	if j.Prob < 1 && float64(r>>11)/(1<<53) >= j.Prob {
+		return 0
+	}
+	d := sim.Time(in.next() % uint64(j.Max+1))
+	if d > 0 {
+		in.stats.Jittered++
+	}
+	return d
+}
+
+// LinkBlockedUntil reports when a mesh link joining nodes a and b becomes
+// usable, given a desired reservation at time t: the end of the covering
+// outage window, or 0 if no outage applies.
+func (in *Injector) LinkBlockedUntil(a, b int, t sim.Time) sim.Time {
+	var until sim.Time
+	for _, w := range in.cfg.Outages {
+		if !w.matches(a) && !w.matches(b) {
+			continue
+		}
+		if u := w.activeUntil(t); u > until {
+			until = u
+		}
+	}
+	if until > t {
+		in.stats.OutageDelays++
+		return until
+	}
+	return 0
+}
+
+// DrainStalledUntil reports when node's endpoint resumes draining input,
+// or 0 if it is not stalled at time t.
+func (in *Injector) DrainStalledUntil(node int, t sim.Time) sim.Time {
+	var until sim.Time
+	for _, w := range in.cfg.Stalls {
+		if !w.matches(node) {
+			continue
+		}
+		if u := w.activeUntil(t); u > until {
+			until = u
+		}
+	}
+	if until > t {
+		in.stats.StallRefusals++
+		return until
+	}
+	return 0
+}
+
+// Schedule tabulates, for documentation and debugging, the first openings
+// of every window (up to max entries), in time order.
+func (c Config) Schedule(max int) []string {
+	type opening struct {
+		at   sim.Time
+		desc string
+	}
+	var all []opening
+	add := func(kind string, w Window) {
+		all = append(all, opening{w.Start, fmt.Sprintf("%s node=%s [%v, %v)", kind, fmtNode(w.Node), w.Start, w.Start+w.Dur)})
+	}
+	for _, w := range c.Outages {
+		add("outage", w)
+	}
+	for _, w := range c.Stalls {
+		add("stall", w)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].at < all[j].at })
+	if len(all) > max {
+		all = all[:max]
+	}
+	out := make([]string, len(all))
+	for i, o := range all {
+		out[i] = o.desc
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/am"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mesh"
 	"repro/internal/sim"
@@ -53,6 +54,22 @@ type Config struct {
 	// TraceCap, if nonzero, records the last TraceCap protocol and
 	// message events into Machine.Trace for post-run inspection.
 	TraceCap int
+
+	// FaultSpec, if nonempty, enables deterministic fault injection (see
+	// fault.Parse for the grammar). Kept as the canonical spec string —
+	// not a parsed struct — so Config stays comparable for the sweep
+	// runner's memoization cache.
+	FaultSpec string
+	// FaultSeed seeds the fault schedule; meaningful only with FaultSpec.
+	FaultSeed uint64
+
+	// EventLimit overrides the runaway-simulation guard (dispatched-event
+	// cap); 0 uses the default of 2e9 events.
+	EventLimit uint64
+	// DeadlineCycles, if nonzero, arms the no-forward-progress watchdog:
+	// the run fails with a diagnostic dump if simulated time would pass
+	// this many processor cycles with processors still unfinished.
+	DeadlineCycles int64
 }
 
 // DefaultConfig returns the calibrated 32-node Alewife: 8x4 mesh at
@@ -93,6 +110,9 @@ type Machine struct {
 	// Trace holds the last Cfg.TraceCap events when tracing is enabled.
 	Trace *trace.Buffer
 
+	// Faults is the live fault injector; nil unless Cfg.FaultSpec is set.
+	Faults *fault.Injector
+
 	ran    bool
 	doneN  int
 	finish sim.Time
@@ -128,6 +148,17 @@ func New(cfg Config) *Machine {
 		m.Trace = trace.New(cfg.TraceCap)
 		msys.SetTrace(m.Trace)
 		asys.SetTrace(m.Trace)
+	}
+	if cfg.FaultSpec != "" {
+		fc, err := fault.Parse(cfg.FaultSpec)
+		if err != nil {
+			panic(fmt.Sprintf("machine: bad fault spec: %v", err))
+		}
+		if fc.Enabled() {
+			m.Faults = fault.NewInjector(fc, cfg.FaultSeed)
+			net.SetFaultInjector(m.Faults)
+			asys.SetFaultInjector(m.Faults)
+		}
 	}
 	return m
 }
@@ -169,11 +200,22 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 			}
 		})
 	}
-	m.Eng.SetEventLimit(2_000_000_000)
-	m.Eng.Run()
+	limit := m.Cfg.EventLimit
+	if limit == 0 {
+		limit = 2_000_000_000
+	}
+	m.Eng.SetEventLimit(limit)
+	if m.Cfg.DeadlineCycles > 0 {
+		m.Eng.SetDeadline(m.Clk.Cycles(m.Cfg.DeadlineCycles))
+	}
+	m.runEngine()
 	if m.doneN != n {
-		panic(fmt.Sprintf("machine: deadlock — only %d/%d processors finished at t=%v",
-			m.doneN, n, m.Eng.Now()))
+		d := m.Eng.Diagnose(sim.StallDeadlock)
+		d.Notes = append(d.Notes, fmt.Sprintf("only %d/%d processors finished", m.doneN, n))
+		panic(m.enrich(d))
+	}
+	if err := m.Mem.CheckInvariants(true); err != nil {
+		panic(fmt.Sprintf("machine: post-run %v", err))
 	}
 	res := Result{
 		Time:    m.finish,
@@ -189,4 +231,37 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
 	res.EmulatedBisection = res.Bisection - m.Cfg.CrossTraffic.BytesPerCycle
 	return res
+}
+
+// runEngine drives the event loop, enriching any engine-level stall
+// diagnostic (event limit, deadline, liveness) with machine-level state
+// before re-panicking: busy directory transactions, occupied mesh links,
+// and backed-up NI queues.
+func (m *Machine) runEngine() {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*sim.StallError); ok {
+				panic(m.enrich(se))
+			}
+			panic(r)
+		}
+	}()
+	m.Eng.Run()
+}
+
+// maxDumpNotes bounds each subsystem's contribution to a stall dump.
+const maxDumpNotes = 8
+
+// enrich appends subsystem diagnostics to an engine stall error.
+func (m *Machine) enrich(se *sim.StallError) *sim.StallError {
+	for _, s := range m.Mem.BusyDump(maxDumpNotes) {
+		se.Notes = append(se.Notes, "mem: "+s)
+	}
+	for _, s := range m.Net.OccupiedLinks(m.Eng.Now(), maxDumpNotes) {
+		se.Notes = append(se.Notes, "net: "+s)
+	}
+	for _, s := range m.AM.QueueDump(maxDumpNotes) {
+		se.Notes = append(se.Notes, "am: "+s)
+	}
+	return se
 }

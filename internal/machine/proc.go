@@ -160,6 +160,7 @@ func (p *Proc) WaitAndHandle() int {
 	if !p.M.AM.HasPending(p.ID) {
 		start := p.th.Now()
 		p.M.AM.Notify(p.ID, func() { p.th.WakeAt(p.M.Eng.Now()) })
+		p.th.SetWaitReason("await-message", 0)
 		p.th.Pause()
 		p.BD.Add(stats.BucketSync, p.th.Now()-start)
 	}

@@ -137,6 +137,10 @@ func runFuzzTrial(t *testing.T, par Params, seed int64) {
 	eng.SetEventLimit(100_000_000)
 	eng.Run()
 
+	if err := sys.CheckInvariants(true); err != nil {
+		t.Errorf("seed %d: %v", seed, err)
+	}
+
 	for c, want := range expectedIncrements {
 		if got := st.Peek(counters[c]); got != float64(want) {
 			t.Errorf("seed %d: counter %d = %v, want %d", seed, c, got, want)

@@ -89,10 +89,29 @@ func (s *System) storeRelaxed(th *sim.Thread, node int, a Addr, v float64, bd *s
 		s.storeRelaxed(th, node, a, v, bd, bucket)
 		return
 	}
+	if i := nm.cache.pfLookup(line); i >= 0 {
+		// A prefetched copy exists: consume it (leaving it would strand a
+		// duplicate — and possibly second-Modified — copy in the prefetch
+		// buffer once the store's own fill lands in the cache).
+		pst := nm.cache.pfTake(i)
+		s.installLine(node, line, pst)
+		s.ev.PrefetchUseful++
+		if pst == lineModified {
+			// Prefetched ownership: the store completes locally.
+			s.store.Poke(a, v)
+			delete(rc.pending, a)
+			d := s.cyc(s.par.PrefetchMoveCycles)
+			bd.Add(stats.BucketCompute, d)
+			th.Sleep(d)
+			return
+		}
+		// Shared copy promoted to cache; fall through to the upgrade.
+	}
 
 	// Full buffer applies back-pressure.
 	for rc.outstanding >= s.par.WriteBufferDepth {
 		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+		th.SetWaitReason("rc-buffer-full", int64(rc.outstanding))
 		th.Pause()
 	}
 
@@ -130,6 +149,7 @@ func (s *System) Fence(th *sim.Thread, node int, bd *stats.Breakdown, bucket sta
 	rc := s.nodes[node].rc()
 	for rc.outstanding > 0 {
 		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+		th.SetWaitReason("rc-fence", int64(rc.outstanding))
 		th.Pause()
 	}
 }

@@ -309,6 +309,7 @@ func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, 
 // wait blocks th until t completes, charging the elapsed stall.
 func (s *System) wait(t *txn, th *sim.Thread, bd *stats.Breakdown, bucket stats.TimeBucket) {
 	t.waiters = append(t.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+	th.SetWaitReason("mem-miss line", int64(t.line))
 	th.Pause()
 }
 
@@ -372,24 +373,35 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 			// Dirty in the home's own cache: the controller pulls the
 			// line from its processor's cache inline — no network, no
 			// extra controller passes (Alewife's 2-party dirty case).
-			s.ev.RemoteMissesDty++
-			if write {
-				s.ev.Invalidations++
-				s.nodes[home].cache.invalidate(line)
-				e.state = dirModified
-				e.owner = req
-				e.sharers = 0
-				e.sharers.add(req)
-			} else {
-				s.nodes[home].cache.downgrade(line)
-				e.state = dirShared
-				e.sharers = 0
-				e.sharers.add(home)
-				e.sharers.add(req)
-				e.owner = -1
+			serve := func() {
+				s.ev.RemoteMissesDty++
+				if write {
+					s.ev.Invalidations++
+					s.nodes[home].cache.invalidate(line)
+					e.state = dirModified
+					e.owner = req
+					e.sharers = 0
+					e.sharers.add(req)
+				} else {
+					s.nodes[home].cache.downgrade(line)
+					e.state = dirShared
+					e.sharers = 0
+					e.sharers.add(home)
+					e.sharers.add(req)
+					e.owner = -1
+				}
+				s.grant(home, req, line, write, t, 0)
+				s.release(home, e)
 			}
-			s.grant(home, req, line, write, t, 0)
-			s.release(home, e)
+			// If the home's own write grant is still in flight (ownership
+			// recorded, fill pending), defer until the fill completes:
+			// invalidating the cache now would miss the in-flight fill and
+			// leave two Modified copies (mirrors ownerFetch's deferral).
+			if ot := s.nodes[home].pending[line]; ot != nil && ot.write && ot.granted {
+				ot.onComplete = append(ot.onComplete, serve)
+				return
+			}
+			serve()
 			return
 		}
 		// Dirty at a third party: fetch (and for writes, invalidate) the
@@ -673,7 +685,16 @@ func (s *System) writeback(node int, line Addr) {
 	s.sendCoh(node, home, mesh.ClassCohData, s.par.LineBytes, func() {
 		s.atCtl(home, func() {
 			e := s.nodes[home].dir.entry(line)
-			if !e.busy && e.state == dirModified && e.owner == node {
+			nm := s.nodes[node]
+			// A fast re-request (8-byte header) can overtake the slower
+			// line-sized write-back packet, so by the time the write-back
+			// arrives the evictor may have re-acquired ownership (or have
+			// a re-acquisition in flight). Clearing the directory then
+			// would let a second node be granted Modified concurrently;
+			// the write-back is stale exactly when the evictor holds the
+			// line again or has a transaction pending on it.
+			if !e.busy && e.state == dirModified && e.owner == node &&
+				!nm.cache.has(line) && nm.pending[line] == nil {
 				e.state = dirUncached
 				e.sharers = 0
 				e.owner = -1

@@ -28,7 +28,9 @@ func newRig() *testRig {
 	return &testRig{eng: eng, net: net, clk: clk, st: st, sys: sys}
 }
 
-// run spawns one thread per body at t=0 and runs to completion.
+// run spawns one thread per body at t=0 and runs to completion, then
+// checks the directory/cache invariants at quiescence. Every protocol
+// scenario in this package therefore doubles as an invariant test.
 func (r *testRig) run(bodies ...func(th *sim.Thread)) {
 	for i, b := range bodies {
 		b := b
@@ -36,6 +38,9 @@ func (r *testRig) run(bodies ...func(th *sim.Thread)) {
 	}
 	r.eng.SetEventLimit(50_000_000)
 	r.eng.Run()
+	if err := r.sys.CheckInvariants(true); err != nil {
+		panic(err)
+	}
 }
 
 // cycles measures the elapsed cycles of fn inside a thread.

@@ -164,7 +164,28 @@ type Network struct {
 	retries     int64
 
 	stopX bool // stops cross-traffic generators
+
+	// fault, when non-nil, perturbs link reservations and deliveries
+	// (deterministic fault injection; see internal/fault).
+	fault FaultInjector
 }
+
+// FaultInjector perturbs network behaviour deterministically. It is
+// implemented by *fault.Injector; the interface keeps the mesh decoupled
+// from the fault package. Faults delay traffic but never drop it.
+type FaultInjector interface {
+	// PacketJitter returns the extra delivery delay for the next packet.
+	// Called exactly once per packet, in send order.
+	PacketJitter() sim.Time
+	// LinkBlockedUntil reports when the link joining nodes a and b
+	// becomes usable for a reservation desired at time t (0 = no outage).
+	LinkBlockedUntil(a, b int, t sim.Time) sim.Time
+}
+
+// SetFaultInjector attaches a fault injector (nil disables injection).
+// With no injector attached the timing paths are byte-identical to a
+// fault-free build.
+func (n *Network) SetFaultInjector(fi FaultInjector) { n.fault = fi }
 
 // Directions for link indexing.
 const (
@@ -376,6 +397,9 @@ func (n *Network) Send(p *Packet) sim.Time {
 	// Head passes hops routers plus the ejection stage; the tail follows
 	// by the serialization time.
 	tail := head + n.cfg.HopLatency + size
+	if n.fault != nil {
+		tail += n.fault.PacketJitter()
+	}
 	n.eng.At(tail, func() { n.deliver(p) })
 	return depart
 }
@@ -423,9 +447,34 @@ func (n *Network) reserve(d, idx int, head, size sim.Time) sim.Time {
 	if bu := n.busyUntil[d][idx]; bu > start {
 		start = bu
 	}
+	if n.fault != nil {
+		a, b := n.linkEnds(d, idx)
+		if u := n.fault.LinkBlockedUntil(a, b, start); u > start {
+			start = u
+		}
+	}
 	n.busyUntil[d][idx] = start + size
 	n.linkBytes[d][idx] += int64(size / n.cfg.PsPerByte)
 	return start + n.cfg.HopLatency
+}
+
+// linkEnds returns the node ids of the routers joined by directed link
+// (d, idx), inverting the index scheme documented on busyUntil. Outage
+// windows target nodes; a link is out when either endpoint is targeted.
+func (n *Network) linkEnds(d, idx int) (a, b int) {
+	w, h := n.cfg.Width, n.cfg.Height
+	switch d {
+	case dirEast, dirWest:
+		if n.cfg.Torus {
+			x, y := idx%w, idx/w
+			return n.ID(x, y), n.ID((x+1)%w, y)
+		}
+		x, y := idx%(w-1), idx/(w-1)
+		return n.ID(x, y), n.ID(x+1, y)
+	default: // dirNorth, dirSouth
+		x, y := idx%w, idx/w
+		return n.ID(x, y), n.ID(x, (y+1)%h)
+	}
 }
 
 func (n *Network) deliver(p *Packet) {
@@ -581,6 +630,28 @@ func (n *Network) LinkStats(elapsed sim.Time) LinkStats {
 		st.AvgUtilization /= float64(links)
 	}
 	return st
+}
+
+// OccupiedLinks lists the directed links still reserved past now, most
+// heavily loaded first is not guaranteed — order follows link indexing.
+// At most max entries are returned (0 means no limit). Used by watchdog
+// diagnostics to show where traffic is parked when a run stalls.
+func (n *Network) OccupiedLinks(now sim.Time, max int) []string {
+	names := [4]string{"east", "west", "north", "south"}
+	var out []string
+	for d := range n.busyUntil {
+		for i, bu := range n.busyUntil[d] {
+			if bu <= now {
+				continue
+			}
+			a, b := n.linkEnds(d, i)
+			out = append(out, fmt.Sprintf("%s link %d (%d<->%d) busy until %v", names[d], i, a, b, bu))
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
 }
 
 // UncongestedLatency returns the no-contention delivery time for a packet

@@ -69,6 +69,13 @@ type Engine struct {
 	dispatched uint64
 	// limit, if nonzero, aborts Run after this many events (runaway guard).
 	limit uint64
+	// deadline, if nonzero, aborts Run once the next event would fire
+	// after it while spawned threads are still unfinished (see SetDeadline).
+	deadline Time
+
+	// threads registers every spawned thread, for watchdog diagnostics
+	// (blocked-thread dumps, deadlock detection).
+	threads []*Thread
 }
 
 // NewEngine returns an engine with simulated time at zero and an empty
@@ -83,9 +90,10 @@ func (e *Engine) Now() Time { return e.now }
 // Dispatched reports how many events have executed so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
-// SetEventLimit aborts Run with a panic after n dispatched events. Zero
-// (the default) means no limit. It exists to turn accidental infinite
-// simulations into immediate failures in tests.
+// SetEventLimit aborts Run after n dispatched events by panicking with a
+// *StallError diagnostic (queue depth, upcoming event times, blocked
+// threads). Zero (the default) means no limit. It exists to turn
+// accidental infinite simulations into immediate, debuggable failures.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
 // At schedules fn to run at absolute time t. Scheduling an event in the
@@ -168,6 +176,9 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
+		if e.pastDeadline() {
+			panic(e.Diagnose(StallDeadline))
+		}
 		e.step()
 	}
 	return e.now
@@ -175,7 +186,8 @@ func (e *Engine) Run() Time {
 
 // RunUntil executes events in time order until the queue is empty, Stop is
 // called, or the next event would fire after deadline. Time advances to at
-// most deadline.
+// most deadline — except after a Stop, which leaves now at the last
+// dispatched event (a stopped run must not silently skip simulated time).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
@@ -185,7 +197,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.step()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
@@ -196,7 +208,7 @@ func (e *Engine) step() {
 	e.now = ev.at
 	e.dispatched++
 	if e.limit != 0 && e.dispatched > e.limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.limit, e.now))
+		panic(e.Diagnose(StallEventLimit))
 	}
 	ev.fn()
 }

@@ -48,6 +48,13 @@ type Thread struct {
 
 	wakePending bool
 	panicVal    interface{}
+
+	// Wait-reason bookkeeping for watchdog dumps. Two plain stores per
+	// pause keep the hot path allocation-free; formatting happens only
+	// when a diagnostic is produced.
+	waitReason   string
+	waitArg      int64
+	blockedSince Time
 }
 
 // Spawn creates a thread named name whose body starts at absolute time at.
@@ -73,6 +80,7 @@ func (e *Engine) Spawn(name string, at Time, body func(*Thread)) *Thread {
 		body(th)
 	}()
 	th.wakePending = true
+	e.threads = append(e.threads, th)
 	e.At(at, th.dispatch)
 	return th
 }
@@ -118,9 +126,33 @@ func (th *Thread) Pause() {
 		panic(fmt.Sprintf("sim: Pause on %s thread %q", th.state, th.name))
 	}
 	th.state = ThreadPaused
+	th.blockedSince = th.eng.now
 	th.yield <- struct{}{}
 	<-th.resume
 	th.state = ThreadRunning
+	th.waitReason, th.waitArg = "", 0
+}
+
+// SetWaitReason labels the cause of the thread's next Pause for watchdog
+// diagnostics ("mem-miss", line number; "await-message", node; ...). The
+// label is cleared when the thread resumes. arg is an optional detail
+// rendered alongside the reason; pass 0 when meaningless.
+func (th *Thread) SetWaitReason(reason string, arg int64) {
+	th.waitReason, th.waitArg = reason, arg
+}
+
+// WaitReason returns the current wait label set by SetWaitReason.
+func (th *Thread) WaitReason() (string, int64) { return th.waitReason, th.waitArg }
+
+// formatWaitReason renders the wait label for a diagnostic dump.
+func (th *Thread) formatWaitReason() string {
+	if th.waitReason == "" {
+		return ""
+	}
+	if th.waitArg == 0 {
+		return th.waitReason
+	}
+	return fmt.Sprintf("%s %d", th.waitReason, th.waitArg)
 }
 
 // WakeAt schedules the thread to resume at absolute time t. It may be
