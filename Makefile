@@ -3,13 +3,18 @@
 
 GO ?= go
 
-.PHONY: check build test race bench fuzz
+.PHONY: check build test race bench fuzz lint
 
-check: build race test
+check: build race test lint
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Determinism and simulation-safety analysis (internal/lint): wallclock,
+# unseededrand, maporder, rawconc, fingerprint. See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,93 @@
+// Command simlint runs the repository's determinism and
+// simulation-safety analyzer suite (see internal/lint). It is part of
+// `make check` and CI:
+//
+//	simlint ./...            # lint every package in the module
+//	simlint -tests ./...     # include _test.go files
+//	simlint -checks maporder,wallclock ./internal/apps/...
+//	simlint -list            # describe the suite
+//
+// Diagnostics print as file:line:col: simlint/<check>: message, and the
+// exit status is 1 when any diagnostic survives suppression. Suppress a
+// finding with a written reason:
+//
+//	//lint:allow simlint/<check> <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also lint _test.go files")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	selected, err := lint.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, c := range selected {
+			fmt.Printf("simlint/%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, flag.Args(), *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, selected)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("simlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

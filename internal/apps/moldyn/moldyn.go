@@ -226,16 +226,15 @@ func (a *App) rebuild() {
 		sortI32(a.touched[pr])
 	}
 	if !a.mech.UsesMessages() {
+		// Walk the sorted touched lists, not the touch sets: ascending pr
+		// appends leave every writer list sorted by construction.
 		a.writersOf = make([][]int32, n)
-		for pr, set := range touchSet {
-			for mol := range set {
+		for pr := range a.touched {
+			for _, mol := range a.touched[pr] {
 				if a.box.Part[mol] != pr {
 					a.writersOf[mol] = append(a.writersOf[mol], int32(pr))
 				}
 			}
-		}
-		for _, ws := range a.writersOf {
-			sortI32(ws)
 		}
 		return
 	}
@@ -245,8 +244,15 @@ func (a *App) rebuild() {
 		a.expAcc[pr] = 0
 	}
 	for c := 0; c < procs; c++ {
-		bySrc := make(map[int][]int32)
+		// Group in sorted-molecule order so every per-source ghost list
+		// comes out ascending regardless of map iteration order.
+		needed := make([]int32, 0, len(needPos[c]))
 		for mol := range needPos[c] {
+			needed = append(needed, mol)
+		}
+		sortI32(needed)
+		bySrc := make(map[int][]int32)
+		for _, mol := range needed {
 			bySrc[a.box.Part[mol]] = append(bySrc[a.box.Part[mol]], mol)
 		}
 		srcs := make([]int, 0, len(bySrc))
@@ -256,7 +262,6 @@ func (a *App) rebuild() {
 		sort.Ints(srcs)
 		for _, s := range srcs {
 			mols := bySrc[s]
-			sortI32(mols)
 			a.sendPos[s] = append(a.sendPos[s], sendPair{dst: c, mols: mols})
 			if a.mech == apps.Bulk {
 				a.expPos[c]++

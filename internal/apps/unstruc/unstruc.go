@@ -183,8 +183,15 @@ func (a *App) setupMP() {
 	}
 	for c := 0; c < procs; c++ {
 		a.stateRead[c] = append([]mem.Addr(nil), a.stateAddr...)
-		bySrc := make(map[int][]int32)
+		// Group in sorted-node order so every per-source ghost list comes
+		// out ascending regardless of map iteration order.
+		needed := make([]int32, 0, len(need[c]))
 		for v := range need[c] {
+			needed = append(needed, v)
+		}
+		sort.Slice(needed, func(x, y int) bool { return needed[x] < needed[y] })
+		bySrc := make(map[int][]int32)
+		for _, v := range needed {
 			bySrc[a.mesh.Part[v]] = append(bySrc[a.mesh.Part[v]], v)
 		}
 		srcs := make([]int, 0, len(bySrc))
@@ -194,7 +201,6 @@ func (a *App) setupMP() {
 		sort.Ints(srcs)
 		for _, s := range srcs {
 			nodes := bySrc[s]
-			sort.Slice(nodes, func(x, y int) bool { return nodes[x] < nodes[y] })
 			base := a.m.Alloc(c, 3*len(nodes)+1)
 			for k, v := range nodes {
 				a.stateRead[c][v] = base + mem.Addr(3*k)

@@ -1,0 +1,208 @@
+// Package lint implements simlint, a determinism and simulation-safety
+// analyzer suite for this repository. The simulator's core guarantees —
+// bit-identical parallel/serial sweep output, memoization keyed by
+// canonical RunConfig fingerprints, and seeded fault injection — all
+// rest on strict determinism conventions; simlint enforces them
+// mechanically so they cannot rot under reviewer fatigue.
+//
+// The suite has five checks (see the per-check files for details):
+//
+//	wallclock    — no host time observation in simulator-facing packages
+//	unseededrand — no global/unseeded math/rand in simulator-facing packages
+//	maporder     — no order-sensitive work inside map iteration
+//	rawconc      — no host concurrency in simulated-application code
+//	fingerprint  — RunConfig memo keys cover every field, by value
+//
+// A diagnostic is suppressed by a comment on the flagged line or the
+// line directly above it:
+//
+//	//lint:allow simlint/<check> <reason>
+//
+// The reason is mandatory: a suppression documents why the flagged
+// construct is deterministic anyway (or host-facing by design).
+//
+// simlint is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types, resolving stdlib imports from source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, carrying its check name and position.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: simlint/%s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Check is one analyzer of the suite.
+type Check struct {
+	Name string
+	Doc  string
+	// Applies reports whether the check runs on the package with the
+	// given import path; nil means every package.
+	Applies func(pkgPath string) bool
+	Run     func(*Pass)
+}
+
+// Pass carries one (check, package) analysis run.
+type Pass struct {
+	Check   *Check
+	Fset    *token.FileSet
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+	Files   []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Check.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Checks returns the full suite in stable order.
+func Checks() []*Check {
+	return []*Check{
+		WallclockCheck,
+		UnseededRandCheck,
+		MapOrderCheck,
+		RawConcCheck,
+		FingerprintCheck,
+	}
+}
+
+// Select returns the named subset of the suite ("" selects all).
+func Select(names string) ([]*Check, error) {
+	all := Checks()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Check
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimPrefix(strings.TrimSpace(n), "simlint/")
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// simScopes are the simulator-facing packages where only simulated
+// cycles and explicitly seeded randomness may be observed: everything a
+// run's result can depend on must be derived from the RunConfig.
+var simScopes = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/mem",
+	"internal/mesh",
+	"internal/am",
+	"internal/apps",
+	"internal/workload",
+	"internal/fault",
+	"internal/psync",
+}
+
+// appScopes are the simulated-application packages where concurrency
+// must go through sim.Thread/psync, never the host runtime.
+var appScopes = []string{
+	"internal/apps",
+	"internal/workload",
+	"internal/psync",
+}
+
+// inScope reports whether pkgPath falls under any of the scope path
+// fragments (matched on import-path segment boundaries, so fixtures
+// under any module name participate).
+func inScope(pkgPath string, scopes []string) bool {
+	for _, s := range scopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") ||
+			strings.HasSuffix(pkgPath, "/"+s) || strings.Contains(pkgPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the checks over the packages and returns the surviving
+// diagnostics (suppressions applied), sorted by position.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, runPackage(pkg, checks)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	// A hazard under nested map loops is found once per enclosing loop;
+	// report it once.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
+}
+
+// runPackage runs every applicable check on one package and filters the
+// raw findings through the package's //lint:allow suppressions.
+func runPackage(pkg *Package, checks []*Check) []Diagnostic {
+	var raw []Diagnostic
+	sup := collectSuppressions(pkg.Fset, pkg.Files, &raw)
+	for _, c := range checks {
+		if c.Applies != nil && !c.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Check:   c,
+			Fset:    pkg.Fset,
+			PkgPath: pkg.Path,
+			Pkg:     pkg.Pkg,
+			Info:    pkg.Info,
+			Files:   pkg.Files,
+			diags:   &raw,
+		}
+		c.Run(pass)
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if sup.allows(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs each check over its testdata fixture package and
+// compares the diagnostics against the fixture's //want annotations:
+// a line expecting diagnostics carries `//want <check> [<check> ...]`.
+// Every fixture both fires (annotated lines) and stays silent
+// (unannotated constructs, suppressed lines, out-of-scope runs).
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name    string
+		dir     string
+		pkgPath string
+		checks  []*Check
+		// ignoreWants re-runs a fixture under a package path where the
+		// check must not apply: every annotation must stay silent.
+		ignoreWants bool
+	}{
+		{name: "wallclock", dir: "wallclock", pkgPath: "repro/internal/machine/fixture", checks: []*Check{WallclockCheck}},
+		{name: "wallclock-out-of-scope", dir: "wallclock", pkgPath: "repro/internal/figures/fixture", checks: []*Check{WallclockCheck}, ignoreWants: true},
+		{name: "unseededrand", dir: "unseededrand", pkgPath: "repro/internal/workload/fixture", checks: []*Check{UnseededRandCheck}},
+		{name: "unseededrand-out-of-scope", dir: "unseededrand", pkgPath: "repro/cmd/fixture", checks: []*Check{UnseededRandCheck}, ignoreWants: true},
+		{name: "maporder", dir: "maporder", pkgPath: "repro/internal/figures/fixture", checks: []*Check{MapOrderCheck}},
+		{name: "rawconc", dir: "rawconc", pkgPath: "repro/internal/apps/fixture", checks: []*Check{RawConcCheck}},
+		{name: "rawconc-psync", dir: "rawconc", pkgPath: "repro/internal/psync", checks: []*Check{RawConcCheck}},
+		{name: "rawconc-out-of-scope", dir: "rawconc", pkgPath: "repro/internal/sim", checks: []*Check{RawConcCheck}, ignoreWants: true},
+		{name: "fingerprint-good", dir: "fingerprint_good", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
+		{name: "fingerprint-missing-field", dir: "fingerprint_missing_field", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
+		{name: "fingerprint-reference-fields", dir: "fingerprint_reference", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
+		{name: "fingerprint-absent", dir: "fingerprint_absent", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
+		{name: "fingerprint-absent-elsewhere", dir: "fingerprint_absent", pkgPath: "repro/internal/model", checks: []*Check{FingerprintCheck}, ignoreWants: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			fset := token.NewFileSet()
+			files, wants := parseFixture(t, fset, dir, tc.ignoreWants)
+			diags, err := CheckPackage(fset, tc.pkgPath, files, tc.checks)
+			if err != nil {
+				t.Fatalf("CheckPackage: %v", err)
+			}
+			got := make(map[string][]string)
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+				got[key] = append(got[key], d.Check)
+			}
+			for key, names := range got {
+				sort.Strings(names)
+				if want := wants[key]; !equalStrings(names, want) {
+					t.Errorf("%s: got %v, want %v", key, names, want)
+				}
+			}
+			for key, names := range wants {
+				if _, ok := got[key]; !ok {
+					t.Errorf("%s: missing expected diagnostics %v", key, names)
+				}
+			}
+		})
+	}
+}
+
+// parseFixture parses every fixture file in dir and collects its //want
+// annotations as "file:line" -> sorted check names.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string, ignoreWants bool) ([]*ast.File, map[string][]string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	wants := make(map[string][]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		if ignoreWants {
+			continue
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			_, rest, ok := strings.Cut(line, "//want ")
+			if !ok {
+				continue
+			}
+			names := strings.Fields(rest)
+			sort.Strings(names)
+			wants[fmt.Sprintf("%s:%d", e.Name(), i+1)] = names
+		}
+	}
+	return files, wants
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSuppressionValidation checks that malformed //lint:allow comments
+// are themselves reported: a suppression may not silently fail to
+// suppress.
+func TestSuppressionValidation(t *testing.T) {
+	const src = `package fixture
+
+func a(m map[int]int) []int {
+	var out []int
+	//lint:allow simlint/maporder
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+//lint:allow simlint/nosuchcheck because reasons
+//lint:allow vet/printf wrong namespace
+func b() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckPackage(fset, "repro/internal/figures/fixture", []*ast.File{f}, []*Check{MapOrderCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allow, maporder int
+	for _, d := range diags {
+		switch d.Check {
+		case "allow":
+			allow++
+		case "maporder":
+			maporder++
+		}
+	}
+	if allow != 3 {
+		t.Errorf("got %d allow diagnostics, want 3 (missing reason, unknown check, wrong namespace):\n%v", allow, diags)
+	}
+	// The reasonless suppression must not suppress: the append inside
+	// the map range still fires.
+	if maporder != 1 {
+		t.Errorf("got %d maporder diagnostics, want 1 (reasonless lint:allow must not suppress):\n%v", maporder, diags)
+	}
+}
+
+// TestSelect covers the check-subset flag parsing.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Checks()) {
+		t.Fatalf("Select(\"\") = %d checks, err %v", len(all), err)
+	}
+	two, err := Select("maporder, simlint/wallclock")
+	if err != nil || len(two) != 2 || two[0].Name != "maporder" || two[1].Name != "wallclock" {
+		t.Fatalf("Select subset = %v, err %v", two, err)
+	}
+	if _, err := Select("nosuch"); err == nil {
+		t.Fatal("Select(nosuch) did not error")
+	}
+}

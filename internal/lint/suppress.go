@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowMarker is the suppression comment syntax:
+//
+//	//lint:allow simlint/<check> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a suppression must document why the construct is safe.
+const allowMarker = "lint:allow "
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	check  string
+	reason string
+}
+
+// suppressions indexes parsed allow-comments by (file, line).
+type suppressions struct {
+	byLine map[string]map[int][]suppression
+}
+
+// allows reports whether d is covered by an allow-comment on its own
+// line or the line above.
+func (s *suppressions) allows(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, sup := range lines[line] {
+			if sup.check == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //lint:allow comment in the files.
+// Malformed suppressions (unknown form, missing reason) are themselves
+// reported into raw under the pseudo-check "allow" so they cannot
+// silently fail to suppress.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, raw *[]Diagnostic) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]suppression)}
+	report := func(pos token.Pos, msg string) {
+		*raw = append(*raw, Diagnostic{Check: "allow", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
+				name, reason, _ := strings.Cut(rest, " ")
+				if !strings.HasPrefix(name, "simlint/") {
+					report(c.Pos(), "lint:allow target must be simlint/<check>")
+					continue
+				}
+				name = strings.TrimPrefix(name, "simlint/")
+				if !knownCheck(name) {
+					report(c.Pos(), "lint:allow names unknown check simlint/"+name)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(c.Pos(), "lint:allow simlint/"+name+" needs a reason")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]suppression)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], suppression{check: name, reason: reason})
+			}
+		}
+	}
+	return s
+}
+
+func knownCheck(name string) bool {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+package fixture //want fingerprint
+
+// This fixture is loaded under an .../internal/core import path, where
+// the memo-key fingerprint function is mandatory.
+
+type Config struct {
+	Name string
+}

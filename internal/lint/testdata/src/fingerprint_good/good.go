@@ -1,0 +1,22 @@
+package fixture
+
+type Nested struct {
+	Rate float64
+	Size int
+}
+
+type Config struct {
+	Name    string
+	Workers int
+	Tuning  Nested
+	Seed    int64
+}
+
+// fingerprint normalizes and returns its parameter: every field is
+// covered by construction, and all fields are pure values.
+func fingerprint(c Config) Config {
+	if c.Tuning.Rate == 0 {
+		c.Tuning = Nested{}
+	}
+	return c
+}

@@ -1,0 +1,16 @@
+package fixture
+
+type Config struct {
+	Name    string
+	Workers int
+	Seed    int64
+}
+
+// fingerprint rebuilds the key field-by-field and forgets Seed: two
+// runs differing only in seed would alias one cache entry.
+func fingerprint(c Config) Config {
+	return Config{ //want fingerprint
+		Name:    c.Name,
+		Workers: c.Workers,
+	}
+}

@@ -1,0 +1,17 @@
+package fixture
+
+type Inner struct {
+	Labels []string
+}
+
+type Config struct {
+	Name  string
+	Trace *int
+	Inner Inner
+}
+
+// Fingerprint returns its parameter, but two fields have reference
+// semantics: key equality would compare identity, not content.
+func Fingerprint(c Config) Config { //want fingerprint fingerprint
+	return c
+}

@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex //want rawconc
+
+var counter int64
+
+func bad(ch chan int) { //want rawconc
+	go func() {}() //want rawconc
+	ch <- 1 //want rawconc
+	<-ch //want rawconc
+	atomic.AddInt64(&counter, 1) //want rawconc
+	for range ch { //want rawconc
+	}
+	select { //want rawconc
+	default:
+	}
+}
+
+func pureCompute(xs []float64) float64 {
+	acc := 0.0
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}

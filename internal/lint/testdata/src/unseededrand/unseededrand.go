@@ -1,0 +1,23 @@
+package fixture
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(4) //want unseededrand
+	_ = rand.Float64() //want unseededrand
+	rand.Shuffle(4, func(i, j int) {}) //want unseededrand
+	r := rand.New(hiddenSource()) //want unseededrand
+	_ = r
+}
+
+func hiddenSource() rand.Source { return rand.NewSource(1) }
+
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func suppressed() int {
+	//lint:allow simlint/unseededrand draws host-side jitter for the CLI spinner, not simulated state
+	return rand.Int()
+}

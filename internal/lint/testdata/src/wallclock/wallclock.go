@@ -1,0 +1,18 @@
+package fixture
+
+import "time"
+
+const tick = 5 * time.Millisecond // naming time types is fine; observing the clock is not
+
+func bad() time.Duration {
+	t0 := time.Now() //want wallclock
+	time.Sleep(tick) //want wallclock
+	d := time.Since(t0) //want wallclock
+	_ = time.After(tick) //want wallclock
+	return d
+}
+
+func suppressed() {
+	//lint:allow simlint/wallclock host-facing progress reporting only, never observed by simulated state
+	_ = time.Now()
+}

@@ -138,16 +138,19 @@ func (s *System) CheckInvariants(strict bool) error {
 	if strict {
 		for node, nm := range s.nodes {
 			for line, t := range nm.pending {
+				//lint:allow simlint/maporder bad is sort.Strings-ed before InvariantError is built, so emission order is irrelevant
 				bad = append(bad, fmt.Sprintf("node %d has a pending transaction for line %d (write=%v, granted=%v) at quiescence",
 					node, line, t.write, t.granted))
 			}
 			for line, e := range nm.dir.entries {
 				if e.busy || len(e.queue) > 0 {
+					//lint:allow simlint/maporder bad is sort.Strings-ed before InvariantError is built, so emission order is irrelevant
 					bad = append(bad, fmt.Sprintf("home %d directory entry for line %d still busy (queue depth %d) at quiescence",
 						node, line, len(e.queue)))
 				}
 				if e.state == dirModified {
 					if _, ok := hold[line]; !ok {
+						//lint:allow simlint/maporder bad is sort.Strings-ed before InvariantError is built, so emission order is irrelevant
 						bad = append(bad, fmt.Sprintf("home %d directory says line %d Modified at owner %d but no node caches it (orphaned entry)",
 							node, line, e.owner))
 					}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGeneratorsDeterministic builds every workload twice from the same
+// seed and requires deep equality: graph and mesh generation must be a
+// pure function of the parameters, never of map iteration order or
+// hidden global state. This is the runtime backstop behind the
+// simlint/maporder and simlint/unseededrand conventions.
+func TestGeneratorsDeterministic(t *testing.T) {
+	em := DefaultEM3DParams().Scaled(320, 2)
+	if a, b := NewEM3D(em), NewEM3D(em); !reflect.DeepEqual(a, b) {
+		t.Error("EM3D generation is not deterministic: two builds from the same seed differ")
+	}
+
+	un := DefaultUnstrucParams().Scaled(400, 2)
+	if a, b := NewUnstruc(un), NewUnstruc(un); !reflect.DeepEqual(a, b) {
+		t.Error("UNSTRUC mesh generation is not deterministic: two builds from the same seed differ")
+	}
+
+	ic := DefaultICCGParams().Scaled(640)
+	if a, b := NewICCG(ic), NewICCG(ic); !reflect.DeepEqual(a, b) {
+		t.Error("ICCG system generation is not deterministic: two builds from the same seed differ")
+	}
+
+	mo := DefaultMoldynParams().ScaledBox(256, 3)
+	a, b := NewMoldyn(mo), NewMoldyn(mo)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("MOLDYN box generation is not deterministic: two builds from the same seed differ")
+	}
+	// The interaction list (rebuilt mid-run from positions) must be
+	// deterministic too, including its pair order.
+	pa := BuildPairs(a.Pos, mo.Box, mo.Cutoff)
+	pb := BuildPairs(b.Pos, mo.Box, mo.Cutoff)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Error("MOLDYN BuildPairs is not deterministic for identical positions")
+	}
+}
