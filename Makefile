@@ -1,9 +1,11 @@
 # Tier-1 verification plus the race-certified concurrency surface.
-# `make check` is the gate every PR must pass.
+# `make check` is the gate every PR must pass. `make profile` captures
+# host CPU/heap profiles of a tiny figure regeneration (see the bench
+# target for simulated-time performance tracking).
 
 GO ?= go
 
-.PHONY: check build test race bench fuzz lint
+.PHONY: check build test race bench fuzz lint profile
 
 check: build race test lint
 	$(GO) vet ./...
@@ -30,6 +32,14 @@ race:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzProtocolOps -fuzztime $(FUZZTIME)
+
+# Host-side profiling of a figure regeneration: where the simulator
+# itself spends CPU and heap. Inspect with `go tool pprof /tmp/paperbench.cpu`.
+PROFILE_FIG ?= 4
+profile:
+	$(GO) run ./cmd/paperbench -fig $(PROFILE_FIG) -scale tiny \
+		-cpuprofile /tmp/paperbench.cpu -memprofile /tmp/paperbench.mem > /dev/null
+	@echo "profiles written: /tmp/paperbench.cpu /tmp/paperbench.mem"
 
 # Performance tracking: event-engine allocation profile and serial vs
 # parallel sweep throughput.

@@ -13,6 +13,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -36,6 +38,15 @@ func main() {
 	faults := flag.String("faults", "", "deterministic fault injection spec, e.g. "+
 		"'jitter:max=200ns,prob=0.1;outage:node=*,start=10us,dur=2us,every=50us' (robustness studies)")
 	seed := flag.Uint64("seed", 1, "fault schedule seed (used with -faults)")
+	timelineDir := flag.String("timeline", "", "write a Perfetto trace-event JSON timeline and a metrics "+
+		"snapshot per executed run into this directory (enables metrics collection; byte-identical across reruns)")
+	spanCap := flag.Int("spancap", 4096, "thread-state spans retained per run for -timeline (ring buffer capacity)")
+	runlog := flag.String("runlog", "", "write one JSON line per simulation run (fingerprint, memoization, "+
+		"wall time, outcome, hottest links) to this file")
+	dumpTrace := flag.Int("dumptrace", 0, "retain up to n protocol trace events per run and dump them to stderr "+
+		"(with -timeline, the events also appear in the timeline JSON)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a host heap profile to this file on success")
 	flag.Parse()
 
 	if *faults != "" {
@@ -45,6 +56,37 @@ func main() {
 	}
 
 	core.SetDefaultWorkers(*jobs)
+
+	// Profiling hooks. finishProfiles runs before every exit path that
+	// matters (success and sweep failure); log.Fatal paths lose the
+	// profile, which is fine — a fatally misconfigured run has nothing
+	// worth profiling.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	finishProfiles := func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // report settled live-heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+
 	// Stats and failures are reported explicitly (not deferred): failure
 	// reporting decides the exit code, and os.Exit skips defers.
 	report := func() int {
@@ -86,6 +128,33 @@ func main() {
 	cfg := machine.DefaultConfig()
 	cfg.FaultSpec = *faults
 	cfg.FaultSeed = *seed
+
+	// Observability sinks. All sim-side collection is passive (counters
+	// and ring buffers keyed off simulated time), so enabling it changes
+	// no figure output.
+	if *timelineDir != "" || *runlog != "" || *dumpTrace > 0 {
+		tele := &core.Telemetry{Heartbeat: os.Stderr}
+		if *timelineDir != "" {
+			if err := os.MkdirAll(*timelineDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			tele.TimelineDir = *timelineDir
+			cfg.Metrics = true
+			cfg.SpanCap = *spanCap
+		}
+		if *runlog != "" {
+			f, err := os.Create(*runlog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tele.RunLog = f // os.File writes are unbuffered; exit needs no close
+		}
+		if *dumpTrace > 0 {
+			cfg.TraceCap = *dumpTrace
+			tele.TraceOut = os.Stderr
+		}
+		core.DefaultRunner.SetTelemetry(tele)
+	}
 
 	appsToRun := core.AppNames
 	if *appFlag != "" {
@@ -244,6 +313,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finishProfiles()
 	if code := report(); code != 0 {
 		os.Exit(code)
 	}

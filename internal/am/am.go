@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -154,6 +155,39 @@ type System struct {
 	// fault, when non-nil, injects endpoint drain stalls (the NI refuses
 	// deliveries during a stall window, exercising the mesh retry path).
 	fault DrainStaller
+
+	// Per-node instruments, allocated by SetMetrics; nil when metrics
+	// are disabled. Purely passive.
+	mSend     []*obs.Counter   // messages injected per source node
+	mRecv     []*obs.Counter   // messages dispatched per receiving node
+	mInDepth  []*obs.Histogram // NI input-queue depth at each arrival
+	mOutBack  []*obs.Histogram // injection backlog (cycles) at each send
+	mWaitFull []*obs.Counter   // deliveries refused on a full input queue
+}
+
+// SetMetrics registers the message layer's instruments on reg and begins
+// recording: per-node send/receive occupancy counters, the NI input
+// queue depth distribution (observed at every arrival), the send-side
+// injection backlog distribution in processor cycles (observed at every
+// inject), and full-queue delivery refusals. nil is ignored.
+func (s *System) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n := len(s.nis)
+	s.mSend = make([]*obs.Counter, n)
+	s.mRecv = make([]*obs.Counter, n)
+	s.mInDepth = make([]*obs.Histogram, n)
+	s.mOutBack = make([]*obs.Histogram, n)
+	s.mWaitFull = make([]*obs.Counter, n)
+	for i := 0; i < n; i++ {
+		l := obs.NodeLabel(i)
+		s.mSend[i] = reg.Counter("am_send_total", l)
+		s.mRecv[i] = reg.Counter("am_recv_total", l)
+		s.mInDepth[i] = reg.Histogram("am_ni_in_depth", l)
+		s.mOutBack[i] = reg.Histogram("am_out_backlog_cycles", l)
+		s.mWaitFull[i] = reg.Counter("am_ni_full_refusals_total", l)
+	}
 }
 
 // DrainStaller injects endpoint drain stalls deterministically. It is
@@ -248,6 +282,14 @@ func (s *System) stallIfBacklogged(th *sim.Thread, node int, bd *stats.Breakdown
 // inject places the message on the wire (or loops it back locally).
 func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64, bulk bool, extraHdr int) {
 	s.ev.MessagesSent++
+	if s.mSend != nil {
+		s.mSend[src].Inc()
+		back := s.outFree[src] - s.eng.Now()
+		if back < 0 {
+			back = 0
+		}
+		s.mOutBack[src].Observe(s.clk.ToCycles(back))
+	}
 	if s.tr != nil {
 		k := trace.KMsgSend
 		if bulk {
@@ -319,11 +361,17 @@ func (e endpoint) TryDeliver(now sim.Time, p *mesh.Packet) (bool, sim.Time) {
 		if e.s.fault != nil {
 			if u := e.s.fault.DrainStalledUntil(e.node, now); u > now {
 				ni.waitFull++
+				if e.s.mWaitFull != nil {
+					e.s.mWaitFull[e.node].Inc()
+				}
 				return false, u
 			}
 		}
 		if len(ni.q) >= e.s.par.InQueueCap {
 			ni.waitFull++
+			if e.s.mWaitFull != nil {
+				e.s.mWaitFull[e.node].Inc()
+			}
 			return false, now + e.s.clk.Cycles(e.s.par.RetryCycles)
 		}
 		if p.Deliver != nil {
@@ -343,6 +391,9 @@ func (e endpoint) TryDeliver(now sim.Time, p *mesh.Packet) (bool, sim.Time) {
 func (s *System) arrive(node int, m *msg) {
 	ni := s.nis[node]
 	ni.q = append(ni.q, m)
+	if s.mInDepth != nil {
+		s.mInDepth[node].Observe(int64(len(ni.q)))
+	}
 	if f := ni.notify; f != nil {
 		ni.notify = nil
 		f()
@@ -407,6 +458,9 @@ func (s *System) drain(th *sim.Thread, node int, bd *stats.Breakdown, perMsg int
 		ni.q = ni.q[1:]
 		n++
 		s.ev.MessagesRecv++
+		if s.mRecv != nil {
+			s.mRecv[node].Inc()
+		}
 		if s.tr != nil {
 			s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMsgRecv, A: int64(m.src)})
 		}

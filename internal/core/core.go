@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/moldyn"
 	"repro/internal/apps/unstruc"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -146,6 +147,10 @@ type RunResult struct {
 	Mech apps.Mechanism
 	// Trace holds the machine's event trace when Machine.TraceCap was set.
 	Trace *trace.Buffer
+	// Obs holds the run's metrics registry when Machine.Metrics was set.
+	Obs *obs.Registry
+	// Spans holds the thread-state timeline when Machine.SpanCap was set.
+	Spans *obs.SpanBuffer
 }
 
 // RunError is a crashed run recovered into a value: the simulation
@@ -192,7 +197,7 @@ func Run(rc RunConfig) (res RunResult, err error) {
 			return RunResult{}, fmt.Errorf("core: %s/%s: %w", rc.App, rc.Mech, err)
 		}
 	}
-	return RunResult{Result: mres, App: rc.App, Mech: rc.Mech, Trace: m.Trace}, nil
+	return RunResult{Result: mres, App: rc.App, Mech: rc.Mech, Trace: m.Trace, Obs: m.Obs, Spans: m.Spans}, nil
 }
 
 // MustRun is Run, panicking on error (for benchmarks and examples).

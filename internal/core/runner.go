@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/machine"
@@ -30,6 +31,8 @@ type Runner struct {
 
 	failMu   sync.Mutex
 	failures []*RunError
+
+	tele atomic.Pointer[Telemetry]
 }
 
 // runnerEntry is one memoized (possibly in-flight) run.
@@ -66,6 +69,13 @@ func (r *Runner) Workers() int { return r.workers }
 func (r *Runner) Stats() (hits, executed uint64) {
 	return r.hits.Load(), r.executed.Load()
 }
+
+// SetTelemetry attaches (or, with nil, detaches) an observability sink:
+// every subsequent Run — cache hit or miss — is logged to it, and
+// executed runs write their timeline/metrics/trace artifacts. Safe to
+// call concurrently with sweeps; in-flight runs may record to either
+// sink around the switch.
+func (r *Runner) SetTelemetry(t *Telemetry) { r.tele.Store(t) }
 
 // ClearCache drops all memoized results.
 func (r *Runner) ClearCache() {
@@ -111,20 +121,25 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 	if ok {
 		r.mu.Unlock()
 		r.hits.Add(1)
+		start := time.Now()
 		<-e.done
+		r.tele.Load().observe(key, e.res, e.err, time.Since(start), true)
 		return e.res, e.err
 	}
 	e = &runnerEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
 	r.executed.Add(1)
+	start := time.Now()
 	e.res, e.err = Run(rc)
+	wall := time.Since(start)
 	if re, ok := e.err.(*RunError); ok {
 		r.failMu.Lock()
 		r.failures = append(r.failures, re)
 		r.failMu.Unlock()
 	}
 	close(e.done)
+	r.tele.Load().observe(key, e.res, e.err, wall, false)
 	return e.res, e.err
 }
 

@@ -122,6 +122,11 @@ var simScopes = []string{
 	"internal/workload",
 	"internal/fault",
 	"internal/psync",
+	// obs collects metrics and spans inside the simulation; its data must
+	// be a pure function of the run, so it is held to the same standard.
+	// (The host-side telemetry sinks — run log, heartbeat — live in
+	// internal/core, deliberately outside this list.)
+	"internal/obs",
 }
 
 // appScopes are the simulated-application packages where concurrency

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -54,6 +55,17 @@ type Config struct {
 	// TraceCap, if nonzero, records the last TraceCap protocol and
 	// message events into Machine.Trace for post-run inspection.
 	TraceCap int
+
+	// Metrics enables the deterministic observability registry
+	// (Machine.Obs): per-link mesh utilization, NI occupancy, miss
+	// latency histograms, and per-thread cycle breakdowns. Purely
+	// passive — enabling it never changes simulated timing.
+	Metrics bool
+
+	// SpanCap, if nonzero, records the last SpanCap thread-state spans
+	// (run vs blocked intervals per processor thread) into Machine.Spans
+	// for timeline export.
+	SpanCap int
 
 	// FaultSpec, if nonempty, enables deterministic fault injection (see
 	// fault.Parse for the grammar). Kept as the canonical spec string —
@@ -110,6 +122,13 @@ type Machine struct {
 	// Trace holds the last Cfg.TraceCap events when tracing is enabled.
 	Trace *trace.Buffer
 
+	// Obs is the metrics registry when Cfg.Metrics is set; nil otherwise.
+	Obs *obs.Registry
+
+	// Spans holds the last Cfg.SpanCap thread-state spans when span
+	// recording is enabled; nil otherwise.
+	Spans *obs.SpanBuffer
+
 	// Faults is the live fault injector; nil unless Cfg.FaultSpec is set.
 	Faults *fault.Injector
 
@@ -149,6 +168,21 @@ func New(cfg Config) *Machine {
 		msys.SetTrace(m.Trace)
 		asys.SetTrace(m.Trace)
 	}
+	if cfg.Metrics {
+		m.Obs = obs.NewRegistry()
+		net.SetMetrics(m.Obs)
+		msys.SetMetrics(m.Obs)
+		asys.SetMetrics(m.Obs)
+	}
+	if cfg.SpanCap > 0 {
+		m.Spans = obs.NewSpanBuffer(cfg.SpanCap)
+		eng.SetSpanObserver(func(th *sim.Thread, start, end sim.Time, blocked bool, reason string, arg int64) {
+			m.Spans.Record(obs.Span{
+				Thread: th.Name(), Start: start, End: end,
+				Blocked: blocked, Reason: reason, Arg: arg,
+			})
+		})
+	}
 	if cfg.FaultSpec != "" {
 		fc, err := fault.Parse(cfg.FaultSpec)
 		if err != nil {
@@ -176,6 +210,7 @@ type Result struct {
 	Events            stats.Events      // mem + am counters merged
 	Bisection         float64           // native bisection bandwidth, bytes/cycle
 	EmulatedBisection float64           // native minus cross-traffic, bytes/cycle
+	Links             []mesh.LinkLoad   // the run's three hottest mesh links
 }
 
 // Run executes body on every processor concurrently (SPMD) and returns
@@ -193,6 +228,7 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		p := p
 		p.th = m.Eng.Spawn(fmt.Sprintf("proc%d", p.ID), 0, func(th *sim.Thread) {
 			body(p)
+			p.doneAt = m.Eng.Now()
 			m.doneN++
 			if m.doneN == n {
 				m.finish = m.Eng.Now()
@@ -230,6 +266,21 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	}
 	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
 	res.EmulatedBisection = res.Bisection - m.Cfg.CrossTraffic.BytesPerCycle
+	res.Links = m.Net.TopLinks(m.finish, 3)
+	if m.Obs != nil {
+		// Engine-level thread-state breakdown (the paper's "where do the
+		// cycles go" split at its coarsest): run is charged execution,
+		// block is waiting for fills/messages/locks, tail idle is load
+		// imbalance — time between this processor finishing and the
+		// machine finishing.
+		for _, p := range m.Procs {
+			run, block := p.th.TimeBreakdown()
+			l := obs.NodeLabel(p.ID)
+			m.Obs.Gauge("sim_thread_run_cycles", l).Set(m.Clk.ToCycles(run))
+			m.Obs.Gauge("sim_thread_block_cycles", l).Set(m.Clk.ToCycles(block))
+			m.Obs.Gauge("sim_thread_tail_idle_cycles", l).Set(m.Clk.ToCycles(m.finish - p.doneAt))
+		}
+	}
 	return res
 }
 

@@ -36,8 +36,9 @@ type Proc struct {
 	ID int
 	BD stats.Breakdown
 
-	th   *sim.Thread
-	mode RecvMode
+	th     *sim.Thread
+	mode   RecvMode
+	doneAt sim.Time // when this processor's body returned (load-imbalance metric)
 }
 
 // Thread exposes the underlying simulated thread (for synchronization

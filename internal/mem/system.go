@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -33,6 +34,38 @@ type System struct {
 	idealOneWay sim.Time
 
 	tr *trace.Buffer // optional event trace
+
+	// Instruments, allocated by SetMetrics; nil when metrics are
+	// disabled. Purely passive.
+	mMissRd   *obs.Histogram // demand read miss latency, cycles
+	mMissWr   *obs.Histogram // demand write/upgrade miss latency, cycles
+	mMissPf   *obs.Histogram // prefetch fill latency, cycles
+	mDirBusy  []*obs.Gauge   // high-water concurrently busy directory entries per home
+	mTxnOut   []*obs.Gauge   // high-water outstanding miss transactions per node
+	mTxnTotal *obs.Counter   // miss transactions started
+}
+
+// SetMetrics registers the memory system's instruments on reg and begins
+// recording: miss-latency histograms in processor cycles split by
+// operation (demand read, demand write/upgrade, prefetch fill), the
+// per-home high-water count of concurrently busy directory entries, the
+// per-node high-water count of outstanding miss transactions, and a
+// transaction counter. nil is ignored.
+func (s *System) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mMissRd = reg.Histogram("mem_miss_latency_cycles", "op=read")
+	s.mMissWr = reg.Histogram("mem_miss_latency_cycles", "op=write")
+	s.mMissPf = reg.Histogram("mem_miss_latency_cycles", "op=prefetch")
+	s.mTxnTotal = reg.Counter("mem_txn_total", "")
+	s.mDirBusy = make([]*obs.Gauge, len(s.nodes))
+	s.mTxnOut = make([]*obs.Gauge, len(s.nodes))
+	for i := range s.nodes {
+		l := obs.NodeLabel(i)
+		s.mDirBusy[i] = reg.Gauge("mem_dir_busy_hw", l)
+		s.mTxnOut[i] = reg.Gauge("mem_txn_outstanding_hw", l)
+	}
 }
 
 // SetTrace attaches an event trace buffer (nil disables tracing).
@@ -45,6 +78,7 @@ type nodeMem struct {
 	ctlFree sim.Time
 	pending map[Addr]*txn
 	rcSt    *rcState // write buffer, allocated on first RC store
+	busyDir int      // directory entries currently in service (metrics)
 }
 
 // txn is an outstanding miss transaction at the requesting node.
@@ -55,6 +89,7 @@ type txn struct {
 	prefetch bool
 	atomic   bool // RMW/Update: requires exclusivity even under ProtocolUpdate
 	granted  bool // home has issued the reply (it is en route)
+	start    sim.Time // issue time, for the miss-latency histogram
 
 	waiters    []waiter
 	onComplete []func()
@@ -334,8 +369,12 @@ func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
 		}
 		s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMissStart, A: int64(line), B: w})
 	}
-	t := &txn{line: line, write: write, node: node, prefetch: prefetch}
+	t := &txn{line: line, write: write, node: node, prefetch: prefetch, start: s.eng.Now()}
 	s.nodes[node].pending[line] = t
+	if s.mTxnTotal != nil {
+		s.mTxnTotal.Inc()
+		s.mTxnOut[node].SetMax(int64(len(s.nodes[node].pending)))
+	}
 	home := s.lineHome(line)
 	if node == home {
 		// Local request: no network issue cost; straight to the controller.
@@ -362,6 +401,11 @@ func (s *System) homeDispatch(home, req int, line Addr, write bool, t *txn) {
 		return
 	}
 	e.busy = true
+	if s.mDirBusy != nil {
+		nm := s.nodes[home]
+		nm.busyDir++
+		s.mDirBusy[home].SetMax(int64(nm.busyDir))
+	}
 	s.homeProcess(home, req, line, write, t, e)
 }
 
@@ -647,6 +691,9 @@ func (s *System) release(home int, e *dirEntry) {
 		return
 	}
 	e.busy = false
+	if s.mDirBusy != nil {
+		s.nodes[home].busyDir--
+	}
 }
 
 // completeTxn installs the line, runs deferred operations, and wakes
@@ -665,6 +712,17 @@ func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
 		s.installLine(node, line, st)
 	}
 	delete(nm.pending, line)
+	if s.mMissRd != nil {
+		lat := s.clk.ToCycles(s.eng.Now() - t.start)
+		switch {
+		case t.prefetch:
+			s.mMissPf.Observe(lat)
+		case t.write:
+			s.mMissWr.Observe(lat)
+		default:
+			s.mMissRd.Observe(lat)
+		}
+	}
 	if s.tr != nil {
 		s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMissEnd, A: int64(line)})
 	}

@@ -19,7 +19,9 @@ package mesh
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -168,6 +170,13 @@ type Network struct {
 	// fault, when non-nil, perturbs link reservations and deliveries
 	// (deterministic fault injection; see internal/fault).
 	fault FaultInjector
+
+	// Per-link instruments, allocated by SetMetrics; nil when metrics
+	// are disabled (one nil check on the reservation path). Indexed like
+	// busyUntil.
+	mBusy  [4][]*obs.Counter // serialization time per link, ps
+	mWait  [4][]*obs.Gauge   // high-water head wait (queueing delay), ps
+	mQueue *obs.Histogram    // head wait distribution across all hops, ps
 }
 
 // FaultInjector perturbs network behaviour deterministically. It is
@@ -194,6 +203,33 @@ const (
 	dirNorth // +y
 	dirSouth // -y
 )
+
+// dirNames renders link directions for diagnostics and metric labels.
+var dirNames = [4]string{"east", "west", "north", "south"}
+
+// linkName renders the canonical label of directed link (d, idx). Zero
+// padding keeps lexicographic metric order equal to numeric link order.
+func linkName(d, idx int) string { return fmt.Sprintf("%s%03d", dirNames[d], idx) }
+
+// SetMetrics registers the mesh's instruments on reg and begins
+// recording: per-link serialization time (utilization numerator),
+// per-link high-water head wait (queueing backlog), and the head-wait
+// distribution across all hops. Purely passive — enabling metrics never
+// perturbs packet timing. Call before traffic flows; nil is ignored.
+func (n *Network) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for d := range n.busyUntil {
+		n.mBusy[d] = make([]*obs.Counter, len(n.busyUntil[d]))
+		n.mWait[d] = make([]*obs.Gauge, len(n.busyUntil[d]))
+		for i := range n.busyUntil[d] {
+			n.mBusy[d][i] = reg.Counter("mesh_link_busy_ps", "link="+linkName(d, i))
+			n.mWait[d][i] = reg.Gauge("mesh_link_wait_hw_ps", "link="+linkName(d, i))
+		}
+	}
+	n.mQueue = reg.Histogram("mesh_hop_wait_ps", "")
+}
 
 // New creates a mesh network. All endpoints default to AcceptAll.
 func New(eng *sim.Engine, cfg Config) *Network {
@@ -455,6 +491,12 @@ func (n *Network) reserve(d, idx int, head, size sim.Time) sim.Time {
 	}
 	n.busyUntil[d][idx] = start + size
 	n.linkBytes[d][idx] += int64(size / n.cfg.PsPerByte)
+	if n.mBusy[d] != nil {
+		n.mBusy[d][idx].Add(int64(size))
+		wait := int64(start - head)
+		n.mWait[d][idx].SetMax(wait)
+		n.mQueue.Observe(wait)
+	}
 	return start + n.cfg.HopLatency
 }
 
@@ -612,7 +654,6 @@ func (n *Network) LinkStats(elapsed sim.Time) LinkStats {
 		return LinkStats{}
 	}
 	var st LinkStats
-	names := [4]string{"east", "west", "north", "south"}
 	links := 0
 	for d := range n.linkBytes {
 		for i, b := range n.linkBytes[d] {
@@ -622,7 +663,7 @@ func (n *Network) LinkStats(elapsed sim.Time) LinkStats {
 			links++
 			if u > st.MaxUtilization {
 				st.MaxUtilization = u
-				st.Hotspot = fmt.Sprintf("%s link %d", names[d], i)
+				st.Hotspot = fmt.Sprintf("%s link %d", dirNames[d], i)
 			}
 		}
 	}
@@ -637,7 +678,6 @@ func (n *Network) LinkStats(elapsed sim.Time) LinkStats {
 // At most max entries are returned (0 means no limit). Used by watchdog
 // diagnostics to show where traffic is parked when a run stalls.
 func (n *Network) OccupiedLinks(now sim.Time, max int) []string {
-	names := [4]string{"east", "west", "north", "south"}
 	var out []string
 	for d := range n.busyUntil {
 		for i, bu := range n.busyUntil[d] {
@@ -645,13 +685,55 @@ func (n *Network) OccupiedLinks(now sim.Time, max int) []string {
 				continue
 			}
 			a, b := n.linkEnds(d, i)
-			out = append(out, fmt.Sprintf("%s link %d (%d<->%d) busy until %v", names[d], i, a, b, bu))
+			out = append(out, fmt.Sprintf("%s link %d (%d<->%d) busy until %v", dirNames[d], i, a, b, bu))
 			if max > 0 && len(out) >= max {
 				return out
 			}
 		}
 	}
 	return out
+}
+
+// LinkLoad is one directed link's traffic summary, for hot-spot
+// reporting (run logs, telemetry).
+type LinkLoad struct {
+	Link        string  // canonical link name, e.g. "east003"
+	A, B        int     // joined router node ids
+	Bytes       int64   // bytes serialized over the run (bytes x hops)
+	Utilization float64 // fraction of the elapsed interval spent serializing
+}
+
+// TopLinks returns the k most heavily loaded directed links over the
+// interval [0, elapsed], sorted by bytes descending with the canonical
+// link name as a deterministic tie-break. Links that carried no traffic
+// are omitted, so the result may be shorter than k.
+func (n *Network) TopLinks(elapsed sim.Time, k int) []LinkLoad {
+	if k <= 0 || elapsed <= 0 {
+		return nil
+	}
+	var all []LinkLoad
+	for d := range n.linkBytes {
+		for i, b := range n.linkBytes[d] {
+			if b == 0 {
+				continue
+			}
+			a, bb := n.linkEnds(d, i)
+			all = append(all, LinkLoad{
+				Link: linkName(d, i), A: a, B: bb, Bytes: b,
+				Utilization: float64(b) * float64(n.cfg.PsPerByte) / float64(elapsed),
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Bytes != all[j].Bytes {
+			return all[i].Bytes > all[j].Bytes
+		}
+		return all[i].Link < all[j].Link
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }
 
 // UncongestedLatency returns the no-contention delivery time for a packet

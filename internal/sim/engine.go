@@ -76,6 +76,21 @@ type Engine struct {
 	// threads registers every spawned thread, for watchdog diagnostics
 	// (blocked-thread dumps, deadlock detection).
 	threads []*Thread
+
+	// spanObs, when non-nil, observes every completed thread pause
+	// interval (see SetSpanObserver). Purely passive: it runs after the
+	// thread has already resumed and must not mutate simulation state.
+	spanObs func(th *Thread, start, end Time, blocked bool, reason string, arg int64)
+}
+
+// SetSpanObserver installs fn to be called once per completed thread
+// pause with the interval [start, end], whether the pause was a blocked
+// wait (no wake armed at pause time) or a self-armed sleep, and the wait
+// reason label active during the pause. The observability layer uses it
+// to record thread-state spans for timeline export; nil disables
+// observation (the default, costing one nil check per pause).
+func (e *Engine) SetSpanObserver(fn func(th *Thread, start, end Time, blocked bool, reason string, arg int64)) {
+	e.spanObs = fn
 }
 
 // NewEngine returns an engine with simulated time at zero and an empty

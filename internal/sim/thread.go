@@ -55,6 +55,14 @@ type Thread struct {
 	waitReason   string
 	waitArg      int64
 	blockedSince Time
+
+	// Pause-time accounting for the observability layer: runPs is time
+	// spent in self-armed pauses (Sleep — the thread consuming charged
+	// execution time), blockPs is time spent parked waiting for an
+	// external wake (miss fills, message arrivals, lock releases).
+	// Accumulated unconditionally; two integer adds per pause.
+	runPs   Time
+	blockPs Time
 }
 
 // Spawn creates a thread named name whose body starts at absolute time at.
@@ -127,11 +135,28 @@ func (th *Thread) Pause() {
 	}
 	th.state = ThreadPaused
 	th.blockedSince = th.eng.now
+	armed := th.wakePending
 	th.yield <- struct{}{}
 	<-th.resume
 	th.state = ThreadRunning
+	d := th.eng.now - th.blockedSince
+	if armed {
+		th.runPs += d
+	} else {
+		th.blockPs += d
+	}
+	if obs := th.eng.spanObs; obs != nil {
+		obs(th, th.blockedSince, th.eng.now, !armed, th.waitReason, th.waitArg)
+	}
 	th.waitReason, th.waitArg = "", 0
 }
+
+// TimeBreakdown reports where the thread's simulated time went across
+// its pauses so far: run is time in self-armed sleeps (charged
+// execution), block is time parked waiting for an external wake. The
+// paper's finer compute/sync/communicate split lives in stats.Breakdown;
+// this is the engine-level ground truth beneath it.
+func (th *Thread) TimeBreakdown() (run, block Time) { return th.runPs, th.blockPs }
 
 // SetWaitReason labels the cause of the thread's next Pause for watchdog
 // diagnostics ("mem-miss", line number; "await-message", node; ...). The

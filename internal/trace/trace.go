@@ -120,7 +120,10 @@ func (b *Buffer) Dump(w io.Writer, clk sim.Clock) {
 		fmt.Fprintf(w, "%10d  node %2d  %-10s  a=%d b=%d\n",
 			clk.ToCycles(e.At), e.Node, e.Kind, e.A, e.B)
 	}
-	if dropped := b.total - int64(len(b.ring)); dropped > 0 {
+	// Retained count is len(b.ring) only while filling; once the ring has
+	// wrapped it stays pinned at cap(b.ring), which is what drops are
+	// measured against.
+	if dropped := b.total - int64(cap(b.ring)); dropped > 0 {
 		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -78,6 +79,46 @@ func TestKindStrings(t *testing.T) {
 		if strings.Contains(k.String(), "Kind(") {
 			t.Errorf("kind %d lacks a name", int(k))
 		}
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	// Every in-range kind must have a distinct name (a duplicate would
+	// make dumps ambiguous), and out-of-range values must degrade to the
+	// numeric form rather than stealing a real kind's name.
+	seen := map[string]Kind{}
+	for k := KMissStart; k <= KLock; k++ {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	for _, k := range []Kind{KLock + 1, Kind(99), Kind(-1)} {
+		want := "Kind(" + itoa(int(k)) + ")"
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+		if _, taken := seen[k.String()]; taken {
+			t.Errorf("out-of-range kind %d collides with a named kind", int(k))
+		}
+	}
+}
+
+// itoa avoids importing strconv into the test for one conversion.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func TestDumpPartialRingReportsNoDrops(t *testing.T) {
+	// A partially filled ring (len < cap) has dropped nothing; the drop
+	// accounting must measure against capacity, not the filling length.
+	b := New(8)
+	for i := 0; i < 3; i++ {
+		b.Add(Event{At: sim.Time(i) * 50000, Node: i, Kind: KBarrier})
+	}
+	var buf bytes.Buffer
+	b.Dump(&buf, sim.NewClock(20))
+	if strings.Contains(buf.String(), "dropped") {
+		t.Errorf("partial ring reported drops:\n%s", buf.String())
 	}
 }
 
