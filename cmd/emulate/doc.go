@@ -1,0 +1,8 @@
+// Command emulate runs an application on simulated approximations of the
+// paper's Table 1 machines — the forward direction of the paper's own
+// framing ("we are using the machine as an emulator for other
+// hypothetical machines"): instead of placing published machines on
+// Alewife-measured curves, it builds a 32-node configuration matching
+// each machine's clock, bisection bandwidth, network latency and miss
+// latencies, and measures the mechanisms directly.
+package main

@@ -1,0 +1,4 @@
+// Command machines prints the paper's Table 1 (parameter estimates for
+// fourteen 32-processor multiprocessors) and, with -relative, Table 2
+// (the same parameters in units of local cache-miss latency).
+package main

@@ -1,0 +1,10 @@
+// Command paperbench regenerates the paper's tables and figures on the
+// simulated machine. Select artifacts with -fig / -table, or run the
+// whole evaluation with -all.
+//
+//	paperbench -fig 4              # Figure 4 runtime breakdowns
+//	paperbench -fig 8 -app em3d    # Figure 8 bisection sweep for EM3D
+//	paperbench -fig S1 -scale tiny # node-scaling experiment, 32-512 nodes
+//	paperbench -all -scale sweep   # everything, at sweep scale
+//	paperbench -list               # catalog of every artifact
+package main

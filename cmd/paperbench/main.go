@@ -1,10 +1,3 @@
-// Command paperbench regenerates the paper's tables and figures on the
-// simulated machine. Select artifacts with -fig / -table, or run the
-// whole evaluation with -all.
-//
-//	paperbench -fig 4              # Figure 4 runtime breakdowns
-//	paperbench -fig 8 -app em3d    # Figure 8 bisection sweep for EM3D
-//	paperbench -all -scale sweep   # everything, at sweep scale
 package main
 
 import (
@@ -15,6 +8,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -27,9 +22,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 
-	fig := flag.Int("fig", 0, "figure number to regenerate (1-10; 6 is the topology diagram)")
+	fig := flag.String("fig", "", "figure to regenerate (1-10, or S1 for the node-scaling experiment; 6 is the topology diagram)")
 	table := flag.Int("table", 0, "table number to regenerate (1 or 2)")
-	all := flag.Bool("all", false, "regenerate every figure and table")
+	all := flag.Bool("all", false, "regenerate every paper figure and table (S1 runs machines up to 512 nodes and must be requested explicitly)")
+	list := flag.Bool("list", false, "list every artifact paperbench can produce, then exit")
+	nodes := flag.Int("nodes", 0, "machine size in nodes for all figures (power of two up to 512; 0 = the paper's 32-node 8x4 mesh)")
+	cacheDir := flag.String("cache", "", "persist run results in this directory and reuse them across processes")
 	appFlag := flag.String("app", "", "restrict sweep figures to one app (default: all four)")
 	scaleName := flag.String("scale", "", "workload scale override (tiny, sweep, default, full)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
@@ -48,6 +46,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a host heap profile to this file on success")
 	flag.Parse()
+
+	if *list {
+		figures.PrintCatalog(os.Stdout)
+		return
+	}
 
 	if *faults != "" {
 		if _, err := fault.Parse(*faults); err != nil {
@@ -91,9 +94,13 @@ func main() {
 	// reporting decides the exit code, and os.Exit skips defers.
 	report := func() int {
 		hits, executed := core.DefaultRunner.Stats()
-		if executed > 0 {
-			fmt.Fprintf(os.Stderr, "paperbench: %d simulations on %d workers (%d cache hits)\n",
+		if executed > 0 || core.DefaultRunner.DiskHits() > 0 {
+			line := fmt.Sprintf("paperbench: %d simulations on %d workers (%d cache hits",
 				executed, core.DefaultRunner.Workers(), hits)
+			if *cacheDir != "" {
+				line += fmt.Sprintf(", %d from disk", core.DefaultRunner.DiskHits())
+			}
+			fmt.Fprintln(os.Stderr, line+")")
 		}
 		fails := core.DefaultRunner.Failures()
 		if len(fails) == 0 {
@@ -126,8 +133,23 @@ func main() {
 
 	out := os.Stdout
 	cfg := machine.DefaultConfig()
+	if *nodes != 0 {
+		var err error
+		cfg, err = machine.ConfigForNodes(*nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	cfg.FaultSpec = *faults
 	cfg.FaultSeed = *seed
+
+	if *cacheDir != "" {
+		dc, err := core.OpenDiskCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core.DefaultRunner.SetDiskCache(dc)
+	}
 
 	// Observability sinks. All sim-side collection is passive (counters
 	// and ring buffers keyed off simulated time), so enabling it changes
@@ -180,7 +202,8 @@ func main() {
 		}
 	}
 
-	want := func(n int) bool { return *all || *fig == n }
+	want := func(n int) bool { return *all || *fig == strconv.Itoa(n) }
+	wantS1 := strings.EqualFold(*fig, "S1") // deliberately outside -all: runs machines up to 512 nodes
 	sep := func() {
 		fmt.Fprintln(out, "\n----------------------------------------------------------------")
 	}
@@ -288,6 +311,20 @@ func main() {
 		for _, app := range appsToRun {
 			fmt.Fprintf(out, "[%s] ", app)
 			figures.Fig2(out, fig10[app], []apps.Mechanism{apps.SM, apps.SMPrefetch, apps.MPPoll})
+		}
+		sep()
+	}
+	if wantS1 {
+		ranSomething = true
+		for _, app := range appsToRun {
+			fixed, scaled, err := figures.FigS1(out, app, scOr(core.ScaleSweep), cfg,
+				core.DefaultScalingNodes)
+			check(err)
+			app := app
+			writeCSV(fmt.Sprintf("figS1_%s.csv", app), func(w *os.File) error {
+				return figures.WriteScalingCSV(w, apps.Mechanisms, fixed, scaled)
+			})
+			fmt.Fprintln(out)
 		}
 		sep()
 	}

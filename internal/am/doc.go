@@ -1,0 +1,12 @@
+// Package am simulates Alewife's message-passing mechanisms: user-level
+// active messages received by interrupts or by polling (the Remote Queues
+// abstraction), and bulk transfer via DMA with (address,length) descriptor
+// overhead and double-word alignment padding.
+//
+// Cost structure follows the paper: a null active message costs ~102
+// cycles end to end (construct + launch + interrupt entry + dispatch);
+// polling replaces the interrupt entry with a much cheaper per-message
+// dispatch, cutting receive overhead by roughly a third; DMA eliminates
+// per-word processor cost but the applications pay explicit gather/scatter
+// copying (~60 cycles per 16-byte line, charged via GatherScatterCycles).
+package am

@@ -1,6 +1,3 @@
-// Package apps defines the contract between applications and the
-// experiment framework: the five communication mechanisms of the paper
-// and the App interface every application implements in all five styles.
 package apps
 
 import (

@@ -1,16 +1,3 @@
-// Package iccg implements the paper's ICCG sparse triangular solve in all
-// five styles. The computation graph is a DAG: each row waits for its
-// incoming edge values, performs 2 FLOPs per edge, then sends values
-// along outgoing edges.
-//
-// The message-passing versions are dataflow with per-row presence
-// counters. The shared-memory versions use the paper's producer-computes
-// model: a row's accumulator and presence counter share one cache line,
-// so a producer's single remote ownership acquisition (Update) performs
-// the subtraction and decrements the counter in one transaction — the
-// paper's piggybacked lock. Owners discover completed rows by scanning
-// their pending rows' counters: unchanged counters stay cached (cheap
-// hits), only freshly-decremented ones fetch.
 package iccg
 
 import (

@@ -1,9 +1,3 @@
-// Package unstruc implements the paper's UNSTRUC benchmark (fluid flow
-// over a 3-D unstructured mesh, 75 FLOPs per edge) in all five styles.
-// All versions privatize edge accumulations and flush per touched node.
-// The shared-memory flushes are protected by per-node spin locks (the
-// locking overhead the paper calls out); the message-passing flushes need
-// no locks because non-interruptible handlers provide mutual exclusion.
 package unstruc
 
 import (

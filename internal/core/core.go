@@ -1,10 +1,3 @@
-// Package core is the experiment framework reproducing the paper's
-// methodology: it binds the four applications (in five communication
-// styles each) to simulated machines and runs the parametric studies —
-// communication volume, bisection-bandwidth emulation via cross-traffic,
-// network-latency emulation via clock scaling, and the context-switch
-// (ideal network) emulation — producing the data behind every figure and
-// table in the evaluation.
 package core
 
 import (
@@ -66,75 +59,127 @@ func (s Scale) String() string {
 	return fmt.Sprintf("Scale(%d)", int(s))
 }
 
-// NewApp constructs an application instance at the given scale. Instances
-// are deterministic: the same (name, scale) always yields the same
-// workload.
+// BaseProcs is the paper's machine size: every workload's published
+// parameters assume a 32-processor partition, and scaled-problem sizing
+// (weak scaling) holds per-processor work at its BaseProcs value.
+const BaseProcs = 32
+
+// NewApp constructs an application instance at the given scale for the
+// paper's 32-processor machine. Instances are deterministic: the same
+// (name, scale) always yields the same workload.
 func NewApp(name AppName, sc Scale) (apps.App, error) {
+	return NewAppSized(name, sc, BaseProcs, false)
+}
+
+// NewAppSized constructs an application instance at the given scale,
+// partitioned over procs processors. With scaleProblem false the
+// problem size is the scale's fixed size (strong scaling: the same
+// problem cut into more pieces); with scaleProblem true the problem
+// grows proportionally to procs/32, holding per-processor work constant
+// (weak scaling). At procs = BaseProcs both modes equal NewApp exactly,
+// byte for byte. Returns a descriptive error — not a panic — when the
+// workload cannot be partitioned that finely (EM3D needs at least one
+// graph node per processor; UNSTRUC and MOLDYN use the paper's RCB
+// partitioner, which requires a power-of-two processor count).
+func NewAppSized(name AppName, sc Scale, procs int, scaleProblem bool) (apps.App, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("core: %s with %d processors", name, procs)
+	}
+	// sized scales a base problem dimension by procs/BaseProcs in
+	// weak-scaling mode, keeping the exact base value at BaseProcs.
+	sized := func(base int) int {
+		if !scaleProblem {
+			return base
+		}
+		return base * procs / BaseProcs
+	}
+	pow2 := procs&(procs-1) == 0
 	switch name {
 	case EM3D:
 		p := workload.DefaultEM3DParams()
 		switch sc {
 		case ScaleTiny:
-			p = p.Scaled(320, 2)
+			p = p.Scaled(sized(320), 2)
 		case ScaleSweep:
-			p = p.Scaled(1000, 3)
+			p = p.Scaled(sized(1000), 3)
 		case ScaleDefault:
-			p = p.Scaled(2000, 5)
+			p = p.Scaled(sized(2000), 5)
 		case ScaleFull: // the paper's parameters
+			p = p.Scaled(sized(p.Nodes), p.Iters)
+		}
+		p.Procs = procs
+		if p.Nodes < p.Procs {
+			return nil, fmt.Errorf("core: em3d at scale %s has %d graph nodes, too few for %d processors", sc, p.Nodes, procs)
 		}
 		return em3d.New(p), nil
 	case UNSTRUC:
+		if !pow2 {
+			return nil, fmt.Errorf("core: unstruc RCB partitioning needs a power-of-two processor count, not %d", procs)
+		}
 		p := workload.DefaultUnstrucParams()
 		switch sc {
 		case ScaleTiny:
-			p = p.Scaled(400, 2)
+			p = p.Scaled(sized(400), 2)
 		case ScaleSweep:
-			p = p.Scaled(1000, 3)
+			p = p.Scaled(sized(1000), 3)
 		case ScaleDefault:
-			p = p.Scaled(2000, 4) // the paper's 2000-node mesh
+			p = p.Scaled(sized(2000), 4) // the paper's 2000-node mesh
 		case ScaleFull:
-			p = p.Scaled(2000, 10)
+			p = p.Scaled(sized(2000), 10)
 		}
+		p.Procs = procs
 		return unstruc.New(p), nil
 	case ICCG:
 		p := workload.DefaultICCGParams()
 		switch sc {
 		case ScaleTiny:
-			p = p.Scaled(640)
+			p = p.Scaled(sized(640))
 		case ScaleSweep:
-			p = p.Scaled(2000)
+			p = p.Scaled(sized(2000))
 		case ScaleDefault:
-			p = p.Scaled(4000)
+			p = p.Scaled(sized(4000))
 		case ScaleFull:
-			p = p.Scaled(8000)
+			p = p.Scaled(sized(8000))
 		}
+		p.Procs = procs
 		return iccg.New(p), nil
 	case MOLDYN:
+		if !pow2 {
+			return nil, fmt.Errorf("core: moldyn RCB partitioning needs a power-of-two processor count, not %d", procs)
+		}
 		p := workload.DefaultMoldynParams()
 		switch sc {
 		case ScaleTiny:
-			p = p.ScaledBox(256, 3)
+			p = p.ScaledBox(sized(256), 3)
 			p.ListEvery = 2
 		case ScaleSweep:
-			p = p.ScaledBox(512, 3)
+			p = p.ScaledBox(sized(512), 3)
 			p.ListEvery = 2
 		case ScaleDefault:
-			p = p.ScaledBox(1024, 6)
+			p = p.ScaledBox(sized(1024), 6)
 			p.ListEvery = 3
 		case ScaleFull:
-			p = p.ScaledBox(2048, 20) // lists every 20 iterations, as published
+			p = p.ScaledBox(sized(2048), 20) // lists every 20 iterations, as published
 		}
+		p.Procs = procs
 		return moldyn.New(p), nil
 	}
 	return nil, fmt.Errorf("core: unknown application %q", name)
 }
 
-// RunConfig is one experiment point.
+// RunConfig is one experiment point. The workload is partitioned over
+// exactly Machine.Nodes() processors, so changing the machine geometry
+// automatically repartitions the application.
 type RunConfig struct {
 	App     AppName
 	Mech    apps.Mechanism
 	Scale   Scale
 	Machine machine.Config
+	// ScaleProblem grows the workload proportionally to
+	// Machine.Nodes()/BaseProcs (weak scaling: constant per-processor
+	// work). False keeps the scale's fixed problem size (strong
+	// scaling). At 32 nodes the two modes are identical.
+	ScaleProblem bool
 	// SkipValidate skips the numerical check (sweeps re-run the same
 	// validated workload many times; validation is O(workload)).
 	SkipValidate bool
@@ -176,7 +221,7 @@ func (e *RunError) Error() string {
 // so abandonment is safe, but a pathological sweep of thousands of
 // crashing points would accumulate them).
 func Run(rc RunConfig) (res RunResult, err error) {
-	a, err := NewApp(rc.App, rc.Scale)
+	a, err := NewAppSized(rc.App, rc.Scale, rc.Machine.Nodes(), rc.ScaleProblem)
 	if err != nil {
 		return RunResult{}, err
 	}

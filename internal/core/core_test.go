@@ -287,3 +287,40 @@ func TestSweepErrorPropagation(t *testing.T) {
 		t.Error("msg-len sweep with unknown app did not error")
 	}
 }
+
+// TestCrossoverExactTies: ties establish no direction. Curves that
+// touch and separate back to the same side never cross; curves that
+// touch and come out on the other side cross exactly at the touch
+// point; identical curves and tie-then-diverge sweeps report nothing.
+func TestCrossoverExactTies(t *testing.T) {
+	mk := func(x float64, a, b int64) SweepPoint {
+		return SweepPoint{X: x, Results: map[apps.Mechanism]RunResult{
+			apps.SM:     {Result: machine.Result{Cycles: a}},
+			apps.MPPoll: {Result: machine.Result{Cycles: b}},
+		}}
+	}
+	// Touch and return: SM ahead, tied, ahead again — no crossing.
+	touch := []SweepPoint{mk(0, 100, 120), mk(1, 110, 110), mk(2, 100, 130)}
+	if x, found := Crossover(touch, apps.SM, apps.MPPoll); found {
+		t.Errorf("touch-and-return reported a crossover at %.1f", x)
+	}
+	// Touch and cross: the tie point is exactly the crossing.
+	cross := []SweepPoint{mk(0, 100, 120), mk(1, 115, 115), mk(2, 130, 110)}
+	x, found := Crossover(cross, apps.SM, apps.MPPoll)
+	if !found {
+		t.Fatal("touch-and-cross not found")
+	}
+	if x != 1 {
+		t.Errorf("touch-and-cross at %.2f, want exactly 1 (the tie point)", x)
+	}
+	// Identical curves everywhere: no direction, no crossing.
+	equal := []SweepPoint{mk(0, 100, 100), mk(1, 90, 90), mk(2, 110, 110)}
+	if _, found := Crossover(equal, apps.SM, apps.MPPoll); found {
+		t.Error("identical curves reported a crossover")
+	}
+	// Tie at the start then one direction: no established sign flip.
+	lead := []SweepPoint{mk(0, 100, 100), mk(1, 90, 120), mk(2, 95, 130)}
+	if _, found := Crossover(lead, apps.SM, apps.MPPoll); found {
+		t.Error("tie-then-diverge reported a crossover")
+	}
+}

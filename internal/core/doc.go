@@ -1,0 +1,8 @@
+// Package core is the experiment framework reproducing the paper's
+// methodology: it binds the four applications (in five communication
+// styles each) to simulated machines and runs the parametric studies —
+// communication volume, bisection-bandwidth emulation via cross-traffic,
+// network-latency emulation via clock scaling, and the context-switch
+// (ideal network) emulation — producing the data behind every figure and
+// table in the evaluation.
+package core

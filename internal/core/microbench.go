@@ -31,9 +31,21 @@ type MissPenalties struct {
 func MeasureMissPenalties(cfg machine.Config) MissPenalties {
 	var mp MissPenalties
 	m := machine.New(cfg)
-	// Requester 0 at (0,0); home node 4 at (4,0): 4 hops. Third party
-	// node 12 at (4,1): 1 hop from the home.
-	const req, home, third = 0, 4, 12
+	// Requester 0 at (0,0); home 4 hops east (node 4 at (4,0) on the
+	// default 8x4 mesh, clamped to the row on narrower machines); third
+	// party one hop from the home — the row below when the machine has
+	// one, the neighboring column otherwise.
+	req, home, third := 0, 4, 4+cfg.Width
+	if home > cfg.Width-1 {
+		home = cfg.Width - 1
+	}
+	if cfg.Height > 1 {
+		third = home + cfg.Width
+	} else if home > 1 {
+		third = home - 1
+	} else {
+		third = home + 1 // degenerate 1- or 2-node machines measure local-ish costs
+	}
 	mkAddrs := func(n int) []mem.Addr {
 		out := make([]mem.Addr, n)
 		for i := range out {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,12 +29,14 @@ type Runner struct {
 	cache map[RunConfig]*runnerEntry
 
 	hits     atomic.Uint64
+	diskHits atomic.Uint64
 	executed atomic.Uint64
 
 	failMu   sync.Mutex
 	failures []*RunError
 
 	tele atomic.Pointer[Telemetry]
+	disk atomic.Pointer[DiskCache]
 }
 
 // runnerEntry is one memoized (possibly in-flight) run.
@@ -69,6 +73,17 @@ func (r *Runner) Workers() int { return r.workers }
 func (r *Runner) Stats() (hits, executed uint64) {
 	return r.hits.Load(), r.executed.Load()
 }
+
+// DiskHits reports how many runs were served from the persistent disk
+// cache (a subset of neither Stats counter: disk hits execute no
+// simulation and did not hit the in-memory cache).
+func (r *Runner) DiskHits() uint64 { return r.diskHits.Load() }
+
+// SetDiskCache attaches (or, with nil, detaches) a persistent result
+// cache: subsequent misses of the in-memory cache consult the disk
+// before simulating, and executed runs are stored back. Safe to call
+// concurrently with sweeps.
+func (r *Runner) SetDiskCache(dc *DiskCache) { r.disk.Store(dc) }
 
 // SetTelemetry attaches (or, with nil, detaches) an observability sink:
 // every subsequent Run — cache hit or miss — is logged to it, and
@@ -108,6 +123,11 @@ func fingerprint(rc RunConfig) RunConfig {
 		// The fault seed is inert without a fault spec.
 		rc.Machine.FaultSeed = 0
 	}
+	if rc.Machine.Nodes() == BaseProcs {
+		// Weak and strong scaling coincide at the paper's machine size
+		// (the problem-growth factor is 1), so the flag is inert.
+		rc.ScaleProblem = false
+	}
 	return rc
 }
 
@@ -129,6 +149,15 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 	e = &runnerEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
+	if dc := r.disk.Load(); dc != nil {
+		if res, ok := dc.Load(key); ok {
+			r.diskHits.Add(1)
+			e.res = res
+			close(e.done)
+			r.tele.Load().observe(key, e.res, nil, 0, true)
+			return e.res, nil
+		}
+	}
 	r.executed.Add(1)
 	start := time.Now()
 	e.res, e.err = Run(rc)
@@ -139,6 +168,11 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 		r.failMu.Unlock()
 	}
 	close(e.done)
+	if dc := r.disk.Load(); dc != nil && e.err == nil {
+		if serr := dc.Store(key, e.res); serr != nil {
+			fmt.Fprintf(os.Stderr, "core: %v\n", serr)
+		}
+	}
 	r.tele.Load().observe(key, e.res, e.err, wall, false)
 	return e.res, e.err
 }
@@ -249,10 +283,17 @@ func (r *Runner) RunBatchAll(rcs []RunConfig) (out []RunResult, errs []error) {
 // partial mechanism sets), and the RunError is recorded on the Runner for
 // reporting via Failures. The sweep errors only when nothing succeeded.
 func (r *Runner) sweepJobs(app AppName, sc Scale, mechs []apps.Mechanism, cfgs []machine.Config, xs []float64) ([]SweepPoint, error) {
+	return r.sweepJobsScaled(app, sc, mechs, cfgs, xs, false)
+}
+
+// sweepJobsScaled is sweepJobs with an explicit problem-scaling mode
+// (the node-scaling sweep runs both; every fixed-geometry sweep passes
+// false).
+func (r *Runner) sweepJobsScaled(app AppName, sc Scale, mechs []apps.Mechanism, cfgs []machine.Config, xs []float64, scaleProblem bool) ([]SweepPoint, error) {
 	jobs := make([]RunConfig, 0, len(cfgs)*len(mechs))
 	for _, cfg := range cfgs {
 		for _, mech := range mechs {
-			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, SkipValidate: true})
+			jobs = append(jobs, RunConfig{App: app, Mech: mech, Scale: sc, Machine: cfg, ScaleProblem: scaleProblem, SkipValidate: true})
 		}
 	}
 	results, errs := r.RunBatchAll(jobs)
@@ -365,6 +406,32 @@ func (r *Runner) ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanis
 		out[pi] = pt
 	}
 	return out, nil
+}
+
+// NodeScalingSweep is the Figure S1 methodology: the same application
+// and mechanisms across machine geometries of nodeCounts nodes each
+// (canonical machine.Geometry shapes; base supplies every non-geometry
+// knob). X is the node count. With scaleProblem false the problem size
+// stays at the scale's fixed size (strong scaling); with true it grows
+// proportionally to the node count (weak scaling, constant work per
+// processor). Node counts whose workload cannot be partitioned (e.g. a
+// fixed-size graph with fewer nodes than processors) are isolated like
+// crashed points: absent from that point's Results, reported via
+// Failures only when the run itself crashed.
+func (r *Runner) NodeScalingSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, nodeCounts []int, scaleProblem bool) ([]SweepPoint, error) {
+	cfgs := make([]machine.Config, len(nodeCounts))
+	xs := make([]float64, len(nodeCounts))
+	for i, n := range nodeCounts {
+		w, h, err := machine.Geometry(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Width, cfg.Height = w, h
+		cfgs[i] = cfg
+		xs[i] = float64(n)
+	}
+	return r.sweepJobsScaled(app, sc, mechs, cfgs, xs, scaleProblem)
 }
 
 // MsgLenSweep is the parallel, memoized form of the package-level

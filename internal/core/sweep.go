@@ -49,6 +49,20 @@ func ContextSwitchSweep(app AppName, sc Scale, mechs []apps.Mechanism, base mach
 	return DefaultRunner.ContextSwitchSweep(app, sc, mechs, base, oneWayCycles)
 }
 
+// DefaultScalingNodes is the Figure S1 node-count schedule: the paper's
+// 32-node machine plus the scale-out geometries.
+var DefaultScalingNodes = []int{32, 64, 128, 256, 512}
+
+// NodeScalingSweep reproduces the Figure S1 methodology on the default
+// runner: runtime per mechanism across machine sizes, at a fixed
+// (strong-scaling) or proportionally grown (weak-scaling) problem size.
+// X is the node count. The paper never ran beyond 32 nodes; this sweep
+// is the reproduction's extrapolation of its central question to the
+// scale-out regime.
+func NodeScalingSweep(app AppName, sc Scale, mechs []apps.Mechanism, base machine.Config, nodeCounts []int, scaleProblem bool) ([]SweepPoint, error) {
+	return DefaultRunner.NodeScalingSweep(app, sc, mechs, base, nodeCounts, scaleProblem)
+}
+
 // MsgLenSweep reproduces Figure 7: the sensitivity of the bisection
 // emulation to the cross-traffic message length. It holds the emulated
 // bisection constant and varies the message size; X is the message size
@@ -71,29 +85,40 @@ func NetLatencyCycles(cfg machine.Config) float64 {
 }
 
 // Crossover scans a sweep (ordered by X) for the first X interval where
-// mechanism a's runtime goes from faster to slower than b's, returning
-// the interpolated crossing X. Points that did not measure both
-// mechanisms (partial mechanism sets) are skipped explicitly: the scan
-// compares each measured point against the previous point that measured
-// both, and a sweep with fewer than two such points reports no crossing.
+// mechanism a's runtime goes from strictly faster to strictly slower
+// than b's (or vice versa), returning the interpolated crossing X.
+// Points that did not measure both mechanisms (partial mechanism sets)
+// are skipped explicitly, and exact ties establish no direction: curves
+// that touch and separate back to the same side do not cross, curves
+// that touch and come out on the other side cross exactly at the touch
+// point, and a sweep that never has two opposite-signed points reports
+// no crossing.
 func Crossover(points []SweepPoint, a, b apps.Mechanism) (x float64, found bool) {
-	prev := -1 // index of the last point with both mechanisms measured
+	prev := -1 // index of the last point with both measured and a nonzero difference
+	tie := -1  // last exact-tie point seen since prev
 	for i := range points {
 		ra, okA := points[i].Results[a]
 		rb, okB := points[i].Results[b]
 		if !okA || !okB {
 			continue
 		}
+		d := float64(ra.Cycles - rb.Cycles)
+		if d == 0 {
+			tie = i
+			continue
+		}
 		if prev >= 0 {
-			p0, p1 := points[prev], points[i]
-			d0 := float64(p0.Results[a].Cycles - p0.Results[b].Cycles)
-			d1 := float64(ra.Cycles - rb.Cycles)
-			if d0 != d1 && ((d0 <= 0 && d1 > 0) || (d0 >= 0 && d1 < 0)) {
-				frac := -d0 / (d1 - d0)
+			d0 := float64(points[prev].Results[a].Cycles - points[prev].Results[b].Cycles)
+			if (d0 < 0) != (d < 0) {
+				if tie >= 0 {
+					return points[tie].X, true
+				}
+				p0, p1 := points[prev], points[i]
+				frac := -d0 / (d - d0)
 				return p0.X + frac*(p1.X-p0.X), true
 			}
 		}
-		prev = i
+		prev, tie = i, -1
 	}
 	return 0, false
 }

@@ -1,0 +1,18 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulated machine: link-outage windows on mesh links, bounded per-packet
+// delay jitter, and endpoint drain stalls. It is the software analogue of
+// the perturbations the paper applies to running hardware (cross-traffic,
+// slowed clocks) and of the failure modes Alewife's CMMU recovers from
+// (a blocked network output queue trapping to software).
+//
+// Determinism is the core contract: an Injector's entire fault schedule is
+// a pure function of (Config, seed, query order). The simulator is
+// single-threaded and dispatches events in a total order, so two runs of
+// the same configuration with the same seed see byte-identical fault
+// schedules and therefore produce byte-identical results.
+//
+// Faults only delay traffic; they never drop it. Every injected fault is
+// therefore safe for protocol correctness — it stresses queueing,
+// back-pressure, and retry paths without requiring recovery logic the
+// modeled hardware does not have.
+package fault

@@ -35,6 +35,52 @@ func WriteSweepCSV(w io.Writer, xlabel string, mechs []apps.Mechanism, pts []cor
 	return cw.Error()
 }
 
+// WriteScalingCSV emits the Figure S1 node-scaling experiment as CSV:
+// one row per (mode, node count) with cycles and per-mechanism speedup
+// columns. Node counts a workload could not be partitioned for (e.g. a
+// fixed tiny em3d graph on 512 nodes) emit empty cells rather than
+// zeros, so downstream plots drop the point instead of plotting it.
+func WriteScalingCSV(w io.Writer, mechs []apps.Mechanism, fixed, scaled []core.SweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"mode", "nodes"}
+	for _, m := range mechs {
+		header = append(header, m.String()+"_cycles")
+	}
+	for _, m := range mechs {
+		header = append(header, m.String()+"_speedup")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, mode := range []struct {
+		name string
+		pts  []core.SweepPoint
+	}{{"fixed", fixed}, {"scaled", scaled}} {
+		for _, pt := range mode.pts {
+			row := []string{mode.name, strconv.FormatFloat(pt.X, 'f', 0, 64)}
+			for _, m := range mechs {
+				if r, ok := pt.Results[m]; ok {
+					row = append(row, strconv.FormatInt(r.Cycles, 10))
+				} else {
+					row = append(row, "")
+				}
+			}
+			for _, m := range mechs {
+				if s, ok := Speedup(mode.pts, m, pt); ok {
+					row = append(row, strconv.FormatFloat(s, 'f', 4, 64))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteFig4CSV emits the per-app/mechanism breakdown table as CSV.
 func WriteFig4CSV(w io.Writer, rows []Fig4Row) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,6 @@
+// Package machine assembles the simulated multiprocessor: an Alewife-class
+// node at every mesh router (Sparcle-like processor, CMMU memory system,
+// network interface), plus the experiment knobs the paper turns — processor
+// clock, cross-traffic bisection emulation, and the ideal-network
+// (context-switch) latency emulation.
+package machine

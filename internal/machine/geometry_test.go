@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGeometryFactoring pins the mesh shapes the scale-out geometries
+// use: the squarest factoring whose height divides the node count, with
+// the paper's 32-node machine keeping its 8x4 shape.
+func TestGeometryFactoring(t *testing.T) {
+	cases := []struct{ nodes, w, h int }{
+		{1, 1, 1},
+		{2, 2, 1},
+		{7, 7, 1}, // prime: degenerates to a line
+		{32, 8, 4},
+		{48, 8, 6},
+		{64, 8, 8},
+		{128, 16, 8},
+		{256, 16, 16},
+		{512, 32, 16},
+	}
+	for _, c := range cases {
+		w, h, err := Geometry(c.nodes)
+		if err != nil {
+			t.Fatalf("Geometry(%d): %v", c.nodes, err)
+		}
+		if w != c.w || h != c.h {
+			t.Errorf("Geometry(%d) = %dx%d, want %dx%d", c.nodes, w, h, c.w, c.h)
+		}
+		if w*h != c.nodes || h > w {
+			t.Errorf("Geometry(%d) = %dx%d: not a width-major factoring", c.nodes, w, h)
+		}
+	}
+	for _, bad := range []int{0, -4, MaxNodes + 1, 1 << 20} {
+		if _, _, err := Geometry(bad); err == nil {
+			t.Errorf("Geometry(%d) accepted, want error", bad)
+		}
+	}
+}
+
+// TestConfigForNodesBaseIdentity: the 32-node scaled config must be
+// exactly the calibrated default, so scaling sweeps share cache entries
+// and goldens with every other figure at the base size.
+func TestConfigForNodesBaseIdentity(t *testing.T) {
+	cfg, err := ConfigForNodes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, DefaultConfig()) {
+		t.Errorf("ConfigForNodes(32) = %+v, want DefaultConfig %+v", cfg, DefaultConfig())
+	}
+	if _, err := ConfigForNodes(MaxNodes + 1); err == nil {
+		t.Error("ConfigForNodes above MaxNodes accepted, want error")
+	}
+	big, err := ConfigForNodes(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Nodes() != 512 || big.ClockMHz != DefaultConfig().ClockMHz {
+		t.Errorf("ConfigForNodes(512): nodes=%d clock=%v, want 512 nodes at the default clock",
+			big.Nodes(), big.ClockMHz)
+	}
+}

@@ -1,8 +1,3 @@
-// Package machine assembles the simulated multiprocessor: an Alewife-class
-// node at every mesh router (Sparcle-like processor, CMMU memory system,
-// network interface), plus the experiment knobs the paper turns — processor
-// clock, cross-traffic bisection emulation, and the ideal-network
-// (context-switch) latency emulation.
 package machine
 
 import (
@@ -99,6 +94,47 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxNodes is the largest supported machine, bounded by the directory's
+// sharer-bitset capacity (see mem.MaxNodes).
+const MaxNodes = mem.MaxNodes
+
+// Geometry factors nodes into the canonical P×Q wormhole-mesh shape:
+// the widest near-square grid, width >= height, matching Alewife's 8x4
+// at 32 nodes and growing square-ish for the scale-out sizes
+// (64 -> 8x8, 128 -> 16x8, 256 -> 16x16, 512 -> 32x16). Height is the
+// largest divisor of nodes not exceeding sqrt(nodes); a prime count
+// degenerates to an Nx1 path. Errors when nodes is outside
+// [1, MaxNodes].
+func Geometry(nodes int) (width, height int, err error) {
+	if nodes < 1 || nodes > MaxNodes {
+		return 0, 0, fmt.Errorf("machine: %d nodes outside the supported range [1, %d]", nodes, MaxNodes)
+	}
+	height = 1
+	for h := 2; h*h <= nodes; h++ {
+		if nodes%h == 0 {
+			height = h
+		}
+	}
+	return nodes / height, height, nil
+}
+
+// ConfigForNodes returns the calibrated Alewife configuration scaled to
+// an arbitrary node count: per-node parameters (clock, link bandwidth,
+// hop latency, memory and AM costs) are unchanged — so per-node link
+// bandwidth is constant while bisection bandwidth per node shrinks and
+// average hop count grows with the machine, which is exactly the
+// scale-out regime the Figure S1 experiment probes. ConfigForNodes(32)
+// equals DefaultConfig.
+func ConfigForNodes(nodes int) (Config, error) {
+	w, h, err := Geometry(nodes)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	return cfg, nil
+}
+
 // Nodes returns the node count.
 func (c Config) Nodes() int { return c.Width * c.Height }
 
@@ -141,6 +177,10 @@ type Machine struct {
 func New(cfg Config) *Machine {
 	if cfg.Nodes() < 1 {
 		panic(fmt.Sprintf("machine: bad dimensions %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.Nodes() > MaxNodes {
+		panic(fmt.Sprintf("machine: %dx%d = %d nodes exceeds the %d-node directory capacity",
+			cfg.Width, cfg.Height, cfg.Nodes(), MaxNodes))
 	}
 	eng := sim.NewEngine()
 	clk := sim.NewClock(cfg.ClockMHz)

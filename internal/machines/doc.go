@@ -1,0 +1,7 @@
+// Package machines holds the paper's Table 1 — parameter estimates for
+// fourteen 32-processor multiprocessors — and derives Table 2 (the same
+// parameters recalculated in units of local cache-miss latency). The data
+// is transcribed from the paper; derived columns are recomputed from the
+// raw parameters, with the paper's own printed values preserved where its
+// arithmetic differs (see PaperBisPerMiss).
+package machines

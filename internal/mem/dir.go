@@ -1,21 +1,61 @@
 package mem
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
 
-// sharerSet is a bitset of node ids (the simulator supports up to 64
+// MaxNodes is the largest machine the directory can track sharers for:
+// the sharer bitset is a fixed-size array (pure value semantics — no
+// aliasing between directory entries or snapshots taken by in-flight
+// invalidation rounds), sized for the scale-out geometries (32-512
 // nodes; Alewife and every Table 1 machine has 32).
-type sharerSet uint64
+const MaxNodes = 512
 
-func (s sharerSet) has(n int) bool { return s&(1<<uint(n)) != 0 }
-func (s *sharerSet) add(n int)     { *s |= 1 << uint(n) }
-func (s *sharerSet) remove(n int)  { *s &^= 1 << uint(n) }
-func (s sharerSet) count() int     { return bits.OnesCount64(uint64(s)) }
-func (s sharerSet) forEach(f func(int)) {
-	for v := uint64(s); v != 0; {
-		n := bits.TrailingZeros64(v)
-		v &^= 1 << uint(n)
-		f(n)
+// sharerSet is a bitset of node ids, capacity MaxNodes. It is a value
+// type: copies (e.g. the sharer snapshot an invalidation round walks
+// while the live entry is rewritten) never alias.
+type sharerSet [MaxNodes / 64]uint64
+
+func (s *sharerSet) has(n int) bool { return s[n>>6]&(1<<uint(n&63)) != 0 }
+func (s *sharerSet) add(n int)      { s[n>>6] |= 1 << uint(n&63) }
+func (s *sharerSet) remove(n int)   { s[n>>6] &^= 1 << uint(n&63) }
+
+func (s *sharerSet) count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
 	}
+	return c
+}
+
+// forEach visits set node ids in ascending order (determinism: every
+// invalidation fan-out walks sharers in the same order).
+func (s *sharerSet) forEach(f func(int)) {
+	for wi, w := range s {
+		for w != 0 {
+			n := bits.TrailingZeros64(w)
+			w &^= 1 << uint(n)
+			f(wi<<6 | n)
+		}
+	}
+}
+
+// String renders the set as a node-id list for diagnostics.
+func (s sharerSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.forEach(func(n int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", n)
+	})
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Directory states for a line at its home node.

@@ -1,0 +1,13 @@
+// Package mem simulates the Alewife memory system: per-node direct-mapped
+// caches, a LimitLESS-style directory cache-coherence protocol under
+// sequential consistency, software prefetch with a prefetch buffer, and
+// the authoritative backing store for shared data.
+//
+// Timing follows the paper's Figure 3 cost table: an 11-cycle local miss,
+// remote clean/dirty misses of roughly 42/63 processor cycles plus 1.6
+// cycles per network hop (round trip), and a ~425-cycle software handler
+// when a line's sharer count overflows the directory's five hardware
+// pointers. Controller and DRAM costs are expressed in processor cycles
+// (the CMMU is clocked with the processor); network transit is wall-clock
+// time, which is what makes the paper's clock-scaling experiment work.
+package mem

@@ -119,7 +119,7 @@ func (s *System) CheckInvariants(strict bool) error {
 		}
 		for _, h := range hs {
 			if h.st == lineShared && !e.sharers.has(h.node) {
-				bad = append(bad, fmt.Sprintf("line %d Shared at node %d but home %d sharer bitset %b lacks it",
+				bad = append(bad, fmt.Sprintf("line %d Shared at node %d but home %d sharer bitset %v lacks it",
 					line, h.node, home, e.sharers))
 			}
 		}
@@ -129,7 +129,7 @@ func (s *System) CheckInvariants(strict bool) error {
 					line, home, e.owner, hs))
 			}
 			if e.sharers.count() != 1 || !e.sharers.has(e.owner) {
-				bad = append(bad, fmt.Sprintf("line %d: Modified owner=%d but sharer bitset %b is not the singleton owner",
+				bad = append(bad, fmt.Sprintf("line %d: Modified owner=%d but sharer bitset %v is not the singleton owner",
 					line, e.owner, e.sharers))
 			}
 		}

@@ -87,8 +87,8 @@ type txn struct {
 	write    bool
 	node     int
 	prefetch bool
-	atomic   bool // RMW/Update: requires exclusivity even under ProtocolUpdate
-	granted  bool // home has issued the reply (it is en route)
+	atomic   bool     // RMW/Update: requires exclusivity even under ProtocolUpdate
+	granted  bool     // home has issued the reply (it is en route)
 	start    sim.Time // issue time, for the miss-latency histogram
 
 	waiters    []waiter
@@ -110,8 +110,8 @@ func NewSystem(eng *sim.Engine, net *mesh.Network, clk sim.Clock, par Params, st
 	if net != nil && net.Nodes() != store.Nodes() {
 		panic(fmt.Sprintf("mem: network has %d nodes, store has %d", net.Nodes(), store.Nodes()))
 	}
-	if store.Nodes() > 64 {
-		panic("mem: more than 64 nodes not supported by sharer bitsets")
+	if store.Nodes() > MaxNodes {
+		panic(fmt.Sprintf("mem: %d nodes exceeds the %d-node sharer bitset capacity", store.Nodes(), MaxNodes))
 	}
 	s := &System{eng: eng, net: net, clk: clk, par: par, store: store}
 	s.nodes = make([]*nodeMem, store.Nodes())
@@ -424,12 +424,12 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 					s.nodes[home].cache.invalidate(line)
 					e.state = dirModified
 					e.owner = req
-					e.sharers = 0
+					e.sharers = sharerSet{}
 					e.sharers.add(req)
 				} else {
 					s.nodes[home].cache.downgrade(line)
 					e.state = dirShared
-					e.sharers = 0
+					e.sharers = sharerSet{}
 					e.sharers.add(home)
 					e.sharers.add(req)
 					e.owner = -1
@@ -467,7 +467,7 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 		// Late write-back race: the requestor evicted its dirty copy and
 		// the write-back is still in flight. Safe to treat as uncached.
 		e.state = dirUncached
-		e.sharers = 0
+		e.sharers = sharerSet{}
 		e.owner = -1
 	}
 
@@ -492,7 +492,7 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 		s.countMiss(home, req, false)
 		e.state = dirModified
 		e.owner = req
-		e.sharers = 0
+		e.sharers = sharerSet{}
 		e.sharers.add(req)
 		s.grant(home, req, line, true, t, 0)
 		s.release(home, e)
@@ -522,7 +522,7 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 							if acks == 0 {
 								e.state = dirModified
 								e.owner = req
-								e.sharers = 0
+								e.sharers = sharerSet{}
 								e.sharers.add(req)
 								s.grant(home, req, line, true, t, extra)
 								s.release(home, e)
@@ -597,11 +597,11 @@ func (s *System) ownerFetchNow(owner, home, req int, line Addr, write bool, t *t
 			if write {
 				e.state = dirModified
 				e.owner = req
-				e.sharers = 0
+				e.sharers = sharerSet{}
 				e.sharers.add(req)
 			} else {
 				e.state = dirShared
-				e.sharers = 0
+				e.sharers = sharerSet{}
 				e.sharers.add(owner)
 				e.sharers.add(req)
 				e.owner = -1
@@ -754,7 +754,7 @@ func (s *System) writeback(node int, line Addr) {
 			if !e.busy && e.state == dirModified && e.owner == node &&
 				!nm.cache.has(line) && nm.pending[line] == nil {
 				e.state = dirUncached
-				e.sharers = 0
+				e.sharers = sharerSet{}
 				e.owner = -1
 			}
 		})

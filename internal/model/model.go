@@ -1,18 +1,3 @@
-// Package model is an analytical (closed-form) version of the paper's
-// Section 2 intuition — the conceptual curves of Figures 1 and 2 — with
-// parameters fittable from the simulator's own measurements.
-//
-// Runtime is modeled per processor as
-//
-//	T = compute + overhead + stall(latency) * contention(bandwidth)
-//
-// where the stall term reflects each mechanism's structure (round-trip
-// blocking for sequentially-consistent shared memory, partially-hidden
-// for prefetching, one-way and asynchronous for message passing) and the
-// contention factor is an M/M/1-style 1/(1-rho) in the offered bisection
-// load. The model exists to explain and sanity-check the measured sweeps,
-// not to replace them; its tests assert agreement in shape and
-// factor-of-two magnitude with the simulator.
 package model
 
 import (

@@ -1,19 +1,3 @@
-// Package obs is the simulator's deterministic observability layer: a
-// metrics registry (counters, gauges, power-of-two histograms), thread
-// state span recording, and a Perfetto-loadable timeline export. It plays
-// the role of Alewife's CMMU statistics counters for quantities the paper
-// never plotted: where cycles go per phase, which mesh links saturate
-// under bisection cross-traffic, and how miss latency distributes.
-//
-// Determinism contract. Everything in this package observes only
-// simulated time (sim.Time) and values handed to it by the (strictly
-// single-threaded) simulation; it never reads the host clock, never uses
-// randomness, and never iterates a map when producing output. Two runs of
-// the same RunConfig therefore produce byte-identical snapshots and
-// timelines, and instrumentation never feeds back into simulated timing:
-// an instrumented run's figure data is byte-identical to an
-// uninstrumented run's. The package is enforced as simulator-facing by
-// simlint (wallclock/unseededrand/maporder).
 package obs
 
 import (

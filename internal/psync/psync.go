@@ -1,8 +1,3 @@
-// Package psync provides the synchronization library the applications
-// are written against: shared-memory spin barriers and spin locks (whose
-// traffic flows through the coherence protocol), and message-passing tree
-// barriers built on active messages. The paper's codes use the barrier
-// matching their communication mechanism.
 package psync
 
 import (

@@ -1,12 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine
-// with cooperatively scheduled simulated threads.
-//
-// Simulated time is measured in integer picoseconds (Time). Events fire in
-// nondecreasing time order; ties are broken by scheduling order, so a
-// simulation is fully deterministic given deterministic inputs. Exactly one
-// simulated thread runs at any moment (strict channel handoff between the
-// engine goroutine and thread goroutines), so simulation state never needs
-// locking.
 package sim
 
 import "fmt"

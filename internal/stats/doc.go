@@ -1,0 +1,5 @@
+// Package stats provides the simulator's equivalent of the Alewife CMMU
+// hardware statistics counters: non-intrusive counts of communication
+// volume, per-processor execution time breakdowns, and protocol event
+// counts. The paper's Figures 4 and 5 are built directly from these.
+package stats

@@ -1,9 +1,3 @@
-// Package trace is a lightweight bounded event trace for the simulator:
-// protocol and message events are recorded into a per-machine ring buffer
-// and dumped as text. It exists for debugging protocol behaviour (the
-// directory FIFO starvation this repository once had is obvious in a
-// trace) and for teaching: tracing a single cache line through a run
-// shows the paper's four-messages-per-value pattern directly.
 package trace
 
 import (

@@ -39,3 +39,37 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		t.Error("MOLDYN BuildPairs is not deterministic for identical positions")
 	}
 }
+
+// TestRCBDeterministicAtScaleOutPartCounts re-runs the recursive
+// coordinate bisection at the scale-out geometry part counts (8 through
+// 512) and requires identical assignments and perfectly balanced parts:
+// partitioning must stay a pure function of the points when the machine
+// grows beyond the paper's 32 nodes.
+func TestRCBDeterministicAtScaleOutPartCounts(t *testing.T) {
+	mo := DefaultMoldynParams().ScaledBox(1024, 3)
+	box := NewMoldyn(mo)
+	for _, nparts := range []int{8, 64, 128, 512} {
+		a := RCB(box.Pos, nparts)
+		b := RCB(box.Pos, nparts)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("RCB with %d parts is not deterministic", nparts)
+			continue
+		}
+		counts := make([]int, nparts)
+		for _, p := range a {
+			counts[p]++
+		}
+		lo, hi := len(a), 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("RCB with %d parts: part sizes range %d-%d, want balanced", nparts, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package workload generates the four applications' input datasets:
+// EM3D's irregular bipartite graph, UNSTRUC's 3-D unstructured mesh,
+// ICCG's sparse triangular system (a synthetic stand-in for the
+// Harwell-Boeing BCSSTK32 matrix, which is not distributable here), and
+// MOLDYN's molecule box, plus the recursive-coordinate-bisection
+// partitioner the paper uses for MOLDYN. All generation is deterministic
+// given a seed.
+package workload

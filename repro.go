@@ -72,6 +72,18 @@ type MachineConfig = machine.Config
 // mesh, 18 bytes/cycle bisection, ~15-cycle one-way network latency).
 func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
 
+// MaxNodes is the largest supported machine (bounded by the directory's
+// sharer bitsets).
+const MaxNodes = machine.MaxNodes
+
+// MachineForNodes returns the default machine rescaled to the given node
+// count (1 to MaxNodes) on the squarest wormhole mesh that divides it:
+// 64 nodes on 8x8, 128 on 16x8, 512 on 32x16. MachineForNodes(32) is
+// exactly DefaultMachine().
+func MachineForNodes(nodes int) (MachineConfig, error) {
+	return machine.ConfigForNodes(nodes)
+}
+
 // Config selects one experiment run.
 type Config struct {
 	App       App
@@ -165,6 +177,40 @@ func LatencySweep(app App, mechs []Mechanism, oneWayCycles []int64) ([]SweepPoin
 		oneWayCycles = DefaultIdealLatencies
 	}
 	return core.ContextSwitchSweep(app, core.ScaleSweep, mechs, DefaultMachine(), oneWayCycles)
+}
+
+// DefaultScalingNodes is the Figure S1 node-count schedule (32 to 512).
+var DefaultScalingNodes = core.DefaultScalingNodes
+
+// ScalingSweep reproduces the Figure S1 methodology for one app at
+// ScaleSweep: runtime per mechanism across machine sizes. scaleProblem
+// false holds the problem fixed (strong scaling); true grows it
+// proportionally to the node count (weak scaling). Nil mechs means all
+// five; nil nodeCounts means DefaultScalingNodes. Node counts the
+// workload cannot be partitioned for are isolated: they are simply
+// absent from that point's Results.
+func ScalingSweep(app App, mechs []Mechanism, nodeCounts []int, scaleProblem bool) ([]SweepPoint, error) {
+	if mechs == nil {
+		mechs = Mechanisms
+	}
+	if nodeCounts == nil {
+		nodeCounts = DefaultScalingNodes
+	}
+	return core.NodeScalingSweep(app, core.ScaleSweep, mechs, DefaultMachine(), nodeCounts, scaleProblem)
+}
+
+// OpenResultCache opens (creating if needed) an on-disk run-result cache
+// and attaches it to the sweep runner: completed simulations are
+// persisted and reused across processes. Entries are validated against
+// the configuration fingerprint and a schema version; stale or corrupt
+// entries are ignored and re-simulated.
+func OpenResultCache(dir string) error {
+	dc, err := core.OpenDiskCache(dir)
+	if err != nil {
+		return err
+	}
+	core.DefaultRunner.SetDiskCache(dc)
+	return nil
 }
 
 // Crossover finds where mechanism a's runtime crosses b's in a sweep.
