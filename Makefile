@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race bench fuzz lint profile
+.PHONY: check build test race bench bench-save fuzz lint profile
 
 check: build race test lint
 	$(GO) vet ./...
@@ -46,3 +46,11 @@ profile:
 bench:
 	$(GO) test -bench 'BenchmarkEngine|BenchmarkThreadHandoff' -benchmem -run xxx ./internal/sim/
 	$(GO) test -bench 'BenchmarkClockSweep|BenchmarkContextSwitchSweepMemoized' -benchtime 3x -run xxx ./internal/core/
+
+# bench-save runs the bench suite plus the serial-vs-sharded engine
+# benchmark (cmd/benchengine) and records the engine results in the
+# tracked BENCH_engine.json trajectory. Wall times are host-dependent;
+# the JSON carries the host's core budget alongside each point.
+bench-save: bench
+	$(GO) run ./cmd/benchengine -o BENCH_engine.json
+	@echo "engine benchmark written: BENCH_engine.json"

@@ -1,0 +1,185 @@
+// Command benchengine measures the serial event loop against the tiled
+// conservative-window engine on single runs, and emits the results as
+// machine-readable JSON (the BENCH_engine.json trajectory; see
+// `make bench-save`).
+//
+// Each point runs one application/mechanism at a node count with the
+// engine forced serial (-1) or tiled with an explicit worker count, and
+// reports best-of-N wall time, the simulated result's cycle count, and
+// the tiled engine's tile/window shape. Speedups are relative to the
+// serial engine at the same node count. Wall times are host-dependent
+// by nature — the JSON records the host's core budget so a single-core
+// container's numbers are not mistaken for a parallel speedup
+// measurement.
+//
+//	benchengine                      # default grid to stdout
+//	benchengine -o BENCH_engine.json # write the tracked trajectory
+//	benchengine -nodes 512 -shards -1,4 -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type point struct {
+	Nodes   int     `json:"nodes"`
+	Engine  string  `json:"engine"` // "serial" or "tiled"
+	Shards  int     `json:"shards"` // the -shards value forced for the run
+	Workers int     `json:"workers,omitempty"`
+	Reps    int     `json:"reps"`
+	WallMS  float64 `json:"wall_ms"` // best-of-reps
+	Cycles  int64   `json:"cycles"`
+	Tiles   int     `json:"tiles,omitempty"`
+	Windows uint64  `json:"windows,omitempty"`
+	// SpeedupVsSerial is serial wall / this wall at the same node count;
+	// present once the serial point for that node count has run.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	App       string   `json:"app"`
+	Mech      string   `json:"mech"`
+	Scale     string   `json:"scale"`
+	Host      hostInfo `json:"host"`
+	Note      string   `json:"note"`
+	Points    []point  `json:"points"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write JSON here (default stdout)")
+		nodes  = flag.String("nodes", "32,128,512", "comma-separated node counts")
+		shards = flag.String("shards", "-1,1,2,4", "comma-separated -shards values per node count (-1 serial, N tiled with N workers)")
+		reps   = flag.Int("reps", 3, "repetitions per point; best wall time is kept")
+		weak   = flag.Bool("weak", false, "weak scaling (grow the problem with the machine, the Figure S1 scaled curve); default is the fixed-problem curve")
+	)
+	flag.Parse()
+	if err := run(*out, *nodes, *shards, *reps, *weak); err != nil {
+		fmt.Fprintln(os.Stderr, "benchengine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, nodesCSV, shardsCSV string, reps int, weak bool) error {
+	nodeCounts, err := parseInts(nodesCSV)
+	if err != nil {
+		return err
+	}
+	shardList, err := parseInts(shardsCSV)
+	if err != nil {
+		return err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	scaling := "fixed-problem"
+	if weak {
+		scaling = "weak-scaled"
+	}
+	rep := report{
+		Benchmark: "engine-serial-vs-tiled/" + scaling,
+		App:       string(core.EM3D),
+		Mech:      apps.SM.String(),
+		Scale:     core.ScaleSweep.String(),
+		Host: hostInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoVersion: runtime.Version(),
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Note: "wall times are host-dependent; tiled speedup over serial requires " +
+			"gomaxprocs > 1 (on a single-core host extra workers only add barrier " +
+			"overhead, and auto-sharding clamps to one worker there). Simulated " +
+			"results (cycles) are engine-shape-dependent but identical across " +
+			"worker counts for the same shards setting.",
+	}
+	serialWall := map[int]float64{}
+	for _, n := range nodeCounts {
+		for _, s := range shardList {
+			cfg, err := machine.ConfigForNodes(n)
+			if err != nil {
+				return err
+			}
+			cfg.Shards = s
+			p := point{Nodes: n, Shards: s, Reps: reps, Engine: "serial"}
+			if cfg.Tiled() {
+				p.Engine = "tiled"
+				p.Workers = cfg.EffectiveShards()
+			}
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				res, err := core.Run(core.RunConfig{
+					App: core.EM3D, Mech: apps.SM, Scale: core.ScaleSweep,
+					Machine: cfg, ScaleProblem: weak, SkipValidate: true,
+				})
+				if err != nil {
+					return fmt.Errorf("%d nodes, shards %d: %w", n, s, err)
+				}
+				wall := float64(time.Since(start).Microseconds()) / 1000
+				if r == 0 || wall < p.WallMS {
+					p.WallMS = wall
+				}
+				p.Cycles, p.Tiles, p.Windows = res.Cycles, res.Tiles, res.Windows
+			}
+			if p.Engine == "serial" {
+				serialWall[n] = p.WallMS
+			}
+			if sw, ok := serialWall[n]; ok && sw > 0 {
+				p.SpeedupVsSerial = round2(sw / p.WallMS)
+			}
+			p.WallMS = round2(p.WallMS)
+			rep.Points = append(rep.Points, p)
+			fmt.Fprintf(os.Stderr, "%4d nodes  shards %2d  %-6s  %8.1fms  cycles %d\n",
+				n, s, p.Engine, p.WallMS, p.Cycles)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", csv)
+	}
+	return out, nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

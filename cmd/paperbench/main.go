@@ -32,7 +32,13 @@ func main() {
 	scaleName := flag.String("scale", "", "workload scale override (tiny, sweep, default, full)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	modelCmp := flag.Bool("model", false, "print the analytical model vs simulator comparison")
-	jobs := flag.Int("j", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
+	jobs := flag.Int("j", 0, "parallel simulation workers (0 = all cores, 1 = serial); "+
+		"with sharded runs the per-worker budget is jobs/shards so cores are never oversubscribed")
+	shards := flag.Int("shards", 0, "per-run engine shards: 0 = auto (tiled engine with "+
+		strconv.Itoa(machine.AutoShardWorkers)+" workers at "+strconv.Itoa(machine.AutoShardNodes)+"+ nodes), "+
+		"-1 = force the serial engine, N = force the tiled engine with N workers; "+
+		"configs the tiled engine cannot run (metrics/trace/span capture, cross-traffic, "+
+		"ideal network, jitter faults) fall back to serial")
 	faults := flag.String("faults", "", "deterministic fault injection spec, e.g. "+
 		"'jitter:max=200ns,prob=0.1;outage:node=*,start=10us,dur=2us,every=50us' (robustness studies)")
 	seed := flag.Uint64("seed", 1, "fault schedule seed (used with -faults)")
@@ -47,18 +53,38 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a host heap profile to this file on success")
 	flag.Parse()
 
-	if *list {
-		figures.PrintCatalog(os.Stdout)
-		return
-	}
-
 	if *faults != "" {
 		if _, err := fault.Parse(*faults); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	core.SetDefaultWorkers(*jobs)
+	cfg := machine.DefaultConfig()
+	if *nodes != 0 {
+		var err error
+		cfg, err = machine.ConfigForNodes(*nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg.FaultSpec = *faults
+	cfg.FaultSeed = *seed
+	cfg.Shards = *shards
+
+	if *list {
+		figures.PrintCatalog(os.Stdout)
+		if n := cfg.EffectiveShards(); n > 0 {
+			fmt.Printf("\nengine: tiled (%dx%d mesh in %d row-band tiles, %d workers, lookahead %v)\n",
+				cfg.Width, cfg.Height, cfg.TileCount(), n, cfg.HopLatency)
+		} else {
+			fmt.Printf("\nengine: serial (%dx%d mesh; the tiled engine auto-selects at %d+ nodes, or force it with -shards N)\n",
+				cfg.Width, cfg.Height, machine.AutoShardNodes)
+		}
+		return
+	}
+
+	// Split the core budget between sweep workers and per-run shards.
+	core.SetDefaultWorkers(core.BudgetWorkers(*jobs, cfg.EffectiveShards()))
 
 	// Profiling hooks. finishProfiles runs before every exit path that
 	// matters (success and sweep failure); log.Fatal paths lose the
@@ -132,17 +158,6 @@ func main() {
 	}
 
 	out := os.Stdout
-	cfg := machine.DefaultConfig()
-	if *nodes != 0 {
-		var err error
-		cfg, err = machine.ConfigForNodes(*nodes)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	cfg.FaultSpec = *faults
-	cfg.FaultSeed = *seed
-
 	if *cacheDir != "" {
 		dc, err := core.OpenDiskCache(*cacheDir)
 		if err != nil {

@@ -134,7 +134,13 @@ type System struct {
 	par      Params
 	handlers []Handler
 	nis      []*ni
-	ev       stats.Events
+	// evs is per-node message accounting; each slot is only written from
+	// its node's engine context, so tiled runs count lock-free. Events
+	// sums across nodes.
+	evs []stats.Events
+	// engOf, when non-nil, maps a node to its tile engine (tiled runs);
+	// nil means every node shares eng. See SetTileEngines.
+	engOf func(node int) *sim.Engine
 
 	// outFree[n] is node n's injection backlog horizon.
 	outFree []sim.Time
@@ -199,6 +205,7 @@ func (s *System) SetTrace(tr *trace.Buffer) { s.tr = tr }
 // NewSystem creates the message layer for every node of net.
 func NewSystem(eng *sim.Engine, net *mesh.Network, clk sim.Clock, par Params) *System {
 	s := &System{eng: eng, net: net, clk: clk, par: par}
+	s.evs = make([]stats.Events, net.Nodes())
 	s.nis = make([]*ni, net.Nodes())
 	for i := range s.nis {
 		s.nis[i] = &ni{}
@@ -210,8 +217,32 @@ func NewSystem(eng *sim.Engine, net *mesh.Network, clk sim.Clock, par Params) *S
 // Params returns the message-layer parameters.
 func (s *System) Params() Params { return s.par }
 
+// SetTileEngines routes per-node work to tile engines: everything the
+// message layer schedules on behalf of node n goes to engOf(n). The
+// serial engine passed to NewSystem remains the default when engOf is
+// nil. Cross-node messages travel the mesh, whose banded walk performs
+// the engine handoff, so arrivals and handler dispatch always run in
+// the destination node's context.
+func (s *System) SetTileEngines(engOf func(node int) *sim.Engine) {
+	s.engOf = engOf
+}
+
+// engAt returns the engine that executes node's events.
+func (s *System) engAt(node int) *sim.Engine {
+	if s.engOf != nil {
+		return s.engOf(node)
+	}
+	return s.eng
+}
+
 // Events returns accumulated message counters.
-func (s *System) Events() stats.Events { return s.ev }
+func (s *System) Events() stats.Events {
+	var ev stats.Events
+	for i := range s.evs {
+		ev = ev.Plus(s.evs[i])
+	}
+	return ev
+}
 
 // Register installs a handler and returns its id. Handlers must be
 // registered identically on all nodes (the table is machine-wide, which
@@ -259,9 +290,9 @@ func (s *System) SendBulk(th *sim.Thread, node, dst int, h HandlerID, args []int
 // below the output-queue limit.
 func (s *System) stallIfBacklogged(th *sim.Thread, node int, bd *stats.Breakdown) {
 	limit := s.clk.Cycles(s.par.OutQueueLimit)
-	now := s.eng.Now()
+	now := th.Now()
 	if s.outFree[node] > now+limit {
-		s.ev.NIQueueFullStall++
+		s.evs[node].NIQueueFullStall++
 		wait := s.outFree[node] - limit - now
 		bd.Add(stats.BucketMemWait, wait)
 		th.Sleep(wait)
@@ -270,10 +301,10 @@ func (s *System) stallIfBacklogged(th *sim.Thread, node int, bd *stats.Breakdown
 
 // inject places the message on the wire (or loops it back locally).
 func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64, bulk bool, extraHdr int) {
-	s.ev.MessagesSent++
+	s.evs[src].MessagesSent++
 	if s.mSend != nil {
 		s.mSend[src].Inc()
-		back := s.outFree[src] - s.eng.Now()
+		back := s.outFree[src] - s.engAt(src).Now()
 		if back < 0 {
 			back = 0
 		}
@@ -284,12 +315,12 @@ func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64,
 		if bulk {
 			k = trace.KBulk
 		}
-		s.tr.Add(trace.Event{At: s.eng.Now(), Node: src, Kind: k,
+		s.tr.Add(trace.Event{At: s.engAt(src).Now(), Node: src, Kind: k,
 			A: int64(dst), B: int64(s.par.ValBytes * len(vals))})
 	}
 	if bulk {
-		s.ev.BulkTransfers++
-		s.ev.BulkBytes += int64(s.par.ValBytes * len(vals))
+		s.evs[src].BulkTransfers++
+		s.evs[src].BulkBytes += int64(s.par.ValBytes * len(vals))
 	}
 	// Copy payloads: applications commonly reuse gather buffers.
 	m := &msg{src: src, handler: h, bulk: bulk}
@@ -307,7 +338,7 @@ func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64,
 
 	if src == dst {
 		// Loopback through the NI without entering the mesh.
-		s.eng.After(s.clk.Cycles(2), func() { s.arrive(dst, m) })
+		s.engAt(src).After(s.clk.Cycles(2), func() { s.arrive(dst, m) })
 		return
 	}
 	depart := s.net.Send(&mesh.Packet{
@@ -415,11 +446,11 @@ func (s *System) ClearNotify(node int) { s.nis[node].notify = nil }
 // poll cost and dispatches every queued message with the cheap polled
 // per-message overhead. It returns the number of messages handled.
 func (s *System) Poll(th *sim.Thread, node int, bd *stats.Breakdown) int {
-	s.ev.Polls++
+	s.evs[node].Polls++
 	s.charge(th, bd, s.par.PollCycles)
 	n := s.drain(th, node, bd, s.par.PollPerMsgCycles)
 	if n > 0 {
-		s.ev.PollHits++
+		s.evs[node].PollHits++
 	}
 	return n
 }
@@ -432,7 +463,7 @@ func (s *System) DrainInterrupts(th *sim.Thread, node int, bd *stats.Breakdown) 
 	if !s.HasPending(node) {
 		return 0
 	}
-	s.ev.Interrupts++
+	s.evs[node].Interrupts++
 	s.charge(th, bd, s.par.InterruptEntryCycles)
 	return s.drain(th, node, bd, s.par.InterruptPerMsgCycles)
 }
@@ -446,12 +477,12 @@ func (s *System) drain(th *sim.Thread, node int, bd *stats.Breakdown, perMsg int
 		m := ni.q[0]
 		ni.q = ni.q[1:]
 		n++
-		s.ev.MessagesRecv++
+		s.evs[node].MessagesRecv++
 		if s.mRecv != nil {
 			s.mRecv[node].Inc()
 		}
 		if s.tr != nil {
-			s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMsgRecv, A: int64(m.src)})
+			s.tr.Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KMsgRecv, A: int64(m.src)})
 		}
 		cost := perMsg
 		if m.bulk {

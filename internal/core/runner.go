@@ -128,7 +128,33 @@ func fingerprint(rc RunConfig) RunConfig {
 		// (the problem-growth factor is 1), so the flag is inert.
 		rc.ScaleProblem = false
 	}
+	if rc.Machine.Tiled() {
+		// The tiled engine's result is identical at every worker count, so
+		// every tiled Shards setting shares one cache key. The serial
+		// engine reserves congested links in a different order than the
+		// tiled one, so serial results key separately.
+		rc.Machine.Shards = 1
+	} else {
+		rc.Machine.Shards = -1
+	}
 	return rc
+}
+
+// BudgetWorkers splits the global core budget between sweep workers and
+// per-run engine shards so -j times -shards never oversubscribes: it
+// returns jobs/shards with a floor of one. jobs <= 0 means GOMAXPROCS;
+// shards below one (the serial engine) costs one core per run.
+func BudgetWorkers(jobs, shards int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if w := jobs / shards; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // Run executes one configuration, memoized and single-flight: the first
@@ -143,7 +169,7 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 		r.hits.Add(1)
 		start := time.Now()
 		<-e.done
-		r.tele.Load().observe(key, e.res, e.err, time.Since(start), true)
+		r.tele.Load().observe(rc, e.res, e.err, time.Since(start), true)
 		return e.res, e.err
 	}
 	e = &runnerEntry{done: make(chan struct{})}
@@ -154,7 +180,7 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 			r.diskHits.Add(1)
 			e.res = res
 			close(e.done)
-			r.tele.Load().observe(key, e.res, nil, 0, true)
+			r.tele.Load().observe(rc, e.res, nil, 0, true)
 			return e.res, nil
 		}
 	}
@@ -173,7 +199,7 @@ func (r *Runner) Run(rc RunConfig) (RunResult, error) {
 			fmt.Fprintf(os.Stderr, "core: %v\n", serr)
 		}
 	}
-	r.tele.Load().observe(key, e.res, e.err, wall, false)
+	r.tele.Load().observe(rc, e.res, e.err, wall, false)
 	return e.res, e.err
 }
 

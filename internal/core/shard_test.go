@@ -1,0 +1,196 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// tiledTinyConfig is the Figure 4 machine forced onto the tiled engine
+// with n workers (8x4 tiles into 4 row bands; n <= 4).
+func tiledTinyConfig(n int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Shards = n
+	return cfg
+}
+
+// TestTiledEquivalenceWorkers is the deep-equal-under-race proof for the
+// tiled engine: the full Figure 4 tiny matrix (every app x mechanism)
+// produces identical results — and byte-identical figure CSV — at 1, 2,
+// and 4 shards. Tiles are fixed by geometry, so worker count is pure
+// scheduling; any divergence is a determinism bug. Run under -race via
+// `make check`.
+func TestTiledEquivalenceWorkers(t *testing.T) {
+	run := func(shards int) ([]core.RunResult, []byte) {
+		t.Helper()
+		var jobs []core.RunConfig
+		for _, app := range core.AppNames {
+			for _, mech := range apps.Mechanisms {
+				jobs = append(jobs, core.RunConfig{
+					App: app, Mech: mech, Scale: core.ScaleTiny,
+					Machine: tiledTinyConfig(shards), SkipValidate: false,
+				})
+			}
+		}
+		var out []core.RunResult
+		rows := make([]figures.Fig4Row, 0, len(jobs))
+		for _, rc := range jobs {
+			res, err := core.Run(rc)
+			if err != nil {
+				t.Fatalf("shards=%d %s/%s: %v", shards, rc.App, rc.Mech, err)
+			}
+			out = append(out, res)
+			rows = append(rows, figures.Fig4Row{App: rc.App, Res: res})
+		}
+		var buf bytes.Buffer
+		if err := figures.WriteFig4CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		return out, buf.Bytes()
+	}
+	ref, refCSV := run(1)
+	for _, r := range ref {
+		if r.Tiles != 4 || r.Windows == 0 {
+			t.Fatalf("%s/%s: tiled run reports tiles=%d windows=%d; the tiled engine did not run",
+				r.App, r.Mech, r.Tiles, r.Windows)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		got, gotCSV := run(shards)
+		if !reflect.DeepEqual(ref, got) {
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i], got[i]) {
+					t.Fatalf("shards=%d: %s/%s differs from the 1-shard run:\n1: %+v\n%d: %+v",
+						shards, ref[i].App, ref[i].Mech, ref[i].Result, shards, got[i].Result)
+				}
+			}
+		}
+		if !bytes.Equal(refCSV, gotCSV) {
+			t.Fatalf("shards=%d: Figure 4 CSV differs from the 1-shard run", shards)
+		}
+	}
+}
+
+// TestShardsAutoSelection pins the -shards policy: auto keeps small
+// machines serial and tiles at AutoShardNodes and above; forcing works
+// both ways; unsupported configs (metrics, jitter faults) fall back to
+// serial even when forced.
+func TestShardsAutoSelection(t *testing.T) {
+	small := machine.DefaultConfig()
+	if small.Tiled() || small.EffectiveShards() != 0 {
+		t.Errorf("32-node auto config chose the tiled engine")
+	}
+	big, err := machine.ConfigForNodes(machine.AutoShardNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Tiled() || big.EffectiveShards() != machine.AutoShardWorkers {
+		t.Errorf("%d-node auto config: tiled=%v shards=%d, want tiled with %d workers",
+			machine.AutoShardNodes, big.Tiled(), big.EffectiveShards(), machine.AutoShardWorkers)
+	}
+	forcedOff := big
+	forcedOff.Shards = -1
+	if forcedOff.Tiled() {
+		t.Errorf("Shards=-1 did not force the serial engine")
+	}
+	forcedOn := small
+	forcedOn.Shards = 2
+	if !forcedOn.Tiled() || forcedOn.EffectiveShards() != 2 {
+		t.Errorf("Shards=2 on a 32-node config: tiled=%v shards=%d", forcedOn.Tiled(), forcedOn.EffectiveShards())
+	}
+	metrics := forcedOn
+	metrics.Metrics = true
+	if metrics.Tiled() {
+		t.Errorf("metrics run did not fall back to the serial engine")
+	}
+	jitter := forcedOn
+	jitter.FaultSpec = "jitter:max=100ns,prob=0.5"
+	if jitter.Tiled() {
+		t.Errorf("jittered-fault run did not fall back to the serial engine")
+	}
+	outage := forcedOn
+	outage.FaultSpec = "outage:node=3,start=10us,dur=20us"
+	if !outage.Tiled() {
+		t.Errorf("outage-fault run fell back to the serial engine; read-only fault windows are tiling-safe")
+	}
+}
+
+// TestBudgetWorkers pins the sweep-worker / per-run-shard core split.
+func TestBudgetWorkers(t *testing.T) {
+	for _, c := range []struct{ jobs, shards, want int }{
+		{16, 4, 4}, {16, 0, 16}, {8, 4, 2}, {4, 4, 1}, {2, 4, 1}, {5, 2, 2},
+	} {
+		if got := core.BudgetWorkers(c.jobs, c.shards); got != c.want {
+			t.Errorf("BudgetWorkers(%d, %d) = %d, want %d", c.jobs, c.shards, got, c.want)
+		}
+	}
+}
+
+// stallBlame runs EM3D tiny against a from-the-start link outage long
+// enough to trip the run deadline, and returns the watchdog diagnostic.
+func stallBlame(t *testing.T, shards int) *sim.StallError {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Shards = shards
+	// All of node 3's links go dark at t=0 for a full second — far past
+	// the deadline — so the run cannot complete and the watchdog fires.
+	cfg.FaultSpec = "outage:node=3,start=0us,dur=1000000us"
+	cfg.DeadlineCycles = 2_000_000
+	_, err := core.Run(core.RunConfig{
+		App: core.EM3D, Mech: apps.MPPoll, Scale: core.ScaleTiny,
+		Machine: cfg, SkipValidate: true,
+	})
+	if err == nil {
+		t.Fatalf("shards=%d: outage run completed; expected a deadline stall", shards)
+	}
+	re, ok := err.(*core.RunError)
+	if !ok || re.Stall == nil {
+		t.Fatalf("shards=%d: outage run failed without a stall diagnostic: %v", shards, err)
+	}
+	return re.Stall
+}
+
+// TestStallBlameUnderSharding is the watchdog-blame regression for the
+// tiled engine: a link outage must produce the same stall kind and blame
+// the same blocked threads (names and wait reasons) whether the run is
+// serial or sharded — and the sharded diagnostic must agree exactly,
+// times included, across worker counts.
+func TestStallBlameUnderSharding(t *testing.T) {
+	serial := stallBlame(t, -1)
+	tiled1 := stallBlame(t, 1)
+	tiled4 := stallBlame(t, 4)
+
+	// Worker count is pure scheduling: the whole diagnostic — blame,
+	// times, dispatch count — deep-equals between 1 and 4 workers. Notes
+	// are excluded: subsystem dumps (directory state, link occupancy)
+	// iterate Go maps, so their order is not deterministic.
+	tiled1.Notes, tiled4.Notes = nil, nil
+	if !reflect.DeepEqual(tiled1, tiled4) {
+		t.Errorf("tiled stall diagnostic differs across worker counts:\n1: %+v\n4: %+v", tiled1, tiled4)
+	}
+
+	// The serial engine orders congested links differently, so times may
+	// drift — but the stall kind and the set of blamed threads (with
+	// their wait reasons) must match.
+	if serial.Kind != tiled4.Kind {
+		t.Errorf("stall kind: serial %v, sharded %v", serial.Kind, tiled4.Kind)
+	}
+	blame := func(se *sim.StallError) []string {
+		var out []string
+		for _, b := range se.Blocked {
+			out = append(out, b.Name+" "+b.Reason)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if sb, tb := blame(serial), blame(tiled4); !reflect.DeepEqual(sb, tb) {
+		t.Errorf("blamed threads differ:\nserial:  %v\nsharded: %v", sb, tb)
+	}
+}

@@ -60,6 +60,9 @@ type RunRecord struct {
 	WallMS      float64  `json:"wall_ms"`              // host time spent (≈0 for hits)
 	SimCycles   int64    `json:"sim_cycles,omitempty"` // completion time, processor cycles
 	FaultSpec   string   `json:"fault_spec,omitempty"` // canonical fault injection spec
+	Shards      int      `json:"shards,omitempty"`     // configured tiled-engine workers (0 = serial; auto runs may be clamped to GOMAXPROCS)
+	Tiles       int      `json:"tiles,omitempty"`      // tiled-engine tile count (0 = serial engine)
+	Windows     uint64   `json:"windows,omitempty"`    // conservative windows executed (0 = serial engine)
 	Outcome     string   `json:"outcome"`              // "ok", "stall", or "crash"
 	Error       string   `json:"error,omitempty"`      // failure detail
 	HotLinks    []string `json:"hot_links,omitempty"`  // top-3 mesh links by bytes
@@ -95,6 +98,7 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 		Memo:        "miss",
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		FaultSpec:   rc.Machine.FaultSpec,
+		Shards:      rc.Machine.EffectiveShards(),
 		Outcome:     "ok",
 	}
 	if memo {
@@ -103,6 +107,8 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 	switch {
 	case err == nil:
 		rec.SimCycles = res.Cycles
+		rec.Tiles = res.Tiles
+		rec.Windows = res.Windows
 		for _, l := range res.Links {
 			rec.HotLinks = append(rec.HotLinks,
 				fmt.Sprintf("%s(%d<->%d) bytes=%d util=%.3f", l.Link, l.A, l.B, l.Bytes, l.Utilization))

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -278,11 +279,18 @@ type Stats struct {
 }
 
 // Injector is the live fault source attached to one simulated machine.
-// It is not safe for concurrent use; the simulator is single-threaded.
+// The schedule-consuming path (PacketJitter) is not safe for concurrent
+// use and only runs under the serial engine; the pure window lookups
+// (LinkBlockedUntil, DrainStalledUntil) are read-only over the schedule
+// and count injections atomically, so the tiled engine may call them
+// from several tiles at once.
 type Injector struct {
-	cfg   Config
-	rng   uint64
-	stats Stats
+	cfg Config
+	rng uint64
+
+	jittered      atomic.Int64
+	outageDelays  atomic.Int64
+	stallRefusals atomic.Int64
 }
 
 // NewInjector builds an injector for cfg with the given schedule seed.
@@ -294,7 +302,13 @@ func NewInjector(cfg Config, seed uint64) *Injector {
 func (in *Injector) Config() Config { return in.cfg }
 
 // Stats returns counts of faults injected so far.
-func (in *Injector) Stats() Stats { return in.stats }
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Jittered:      in.jittered.Load(),
+		OutageDelays:  in.outageDelays.Load(),
+		StallRefusals: in.stallRefusals.Load(),
+	}
+}
 
 // splitmix64: tiny, well-mixed, and stable across Go versions (unlike
 // math/rand's unexported algorithms), which keeps fault schedules
@@ -323,7 +337,7 @@ func (in *Injector) PacketJitter() sim.Time {
 	}
 	d := sim.Time(in.next() % uint64(j.Max+1))
 	if d > 0 {
-		in.stats.Jittered++
+		in.jittered.Add(1)
 	}
 	return d
 }
@@ -342,7 +356,7 @@ func (in *Injector) LinkBlockedUntil(a, b int, t sim.Time) sim.Time {
 		}
 	}
 	if until > t {
-		in.stats.OutageDelays++
+		in.outageDelays.Add(1)
 		return until
 	}
 	return 0
@@ -361,7 +375,7 @@ func (in *Injector) DrainStalledUntil(node int, t sim.Time) sim.Time {
 		}
 	}
 	if until > t {
-		in.stats.StallRefusals++
+		in.stallRefusals.Add(1)
 		return until
 	}
 	return 0

@@ -41,6 +41,11 @@ func TestFixtures(t *testing.T) {
 		{name: "rawconc", dir: "rawconc", pkgPath: "repro/internal/apps/fixture", checks: []*Check{RawConcCheck}},
 		{name: "rawconc-psync", dir: "rawconc", pkgPath: "repro/internal/psync", checks: []*Check{RawConcCheck}},
 		{name: "rawconc-out-of-scope", dir: "rawconc", pkgPath: "repro/internal/sim", checks: []*Check{RawConcCheck}, ignoreWants: true},
+		// The sharded engine's barrier idiom (worker goroutines, epoch
+		// atomics, park channels) is sanctioned inside internal/sim — the
+		// group owns host scheduling — but must fire in application code.
+		{name: "rawconc-shard-app", dir: "rawconc_shard", pkgPath: "repro/internal/apps/fixture", checks: []*Check{RawConcCheck}},
+		{name: "rawconc-shard-sim", dir: "rawconc_shard", pkgPath: "repro/internal/sim", checks: []*Check{RawConcCheck}, ignoreWants: true},
 		{name: "fingerprint-good", dir: "fingerprint_good", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
 		{name: "fingerprint-missing-field", dir: "fingerprint_missing_field", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
 		{name: "fingerprint-reference-fields", dir: "fingerprint_reference", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},

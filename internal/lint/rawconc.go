@@ -49,6 +49,19 @@ func runRawConc(p *Pass) {
 			case *ast.SelectorExpr:
 				if isPkgSelector(p, n, "sync") || isPkgSelector(p, n, "sync/atomic") {
 					p.Reportf(n.Pos(), "sync primitive %s.%s"+remedy, pkgName(p, n), n.Sel.Name)
+					return true
+				}
+				// Method calls on sync/atomic-typed values (mu.Lock,
+				// counter.Add) don't name the package at the call site, so
+				// catch them through the receiver's declared type — else a
+				// primitive obtained indirectly slips through.
+				if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					if named := namedRecv(sel.Recv()); named != nil {
+						if pkg := named.Obj().Pkg(); pkg != nil &&
+							(pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+							p.Reportf(n.Pos(), "sync primitive method %s.%s"+remedy, named.Obj().Name(), n.Sel.Name)
+						}
+					}
 				}
 			}
 			return true
@@ -62,4 +75,14 @@ func pkgName(p *Pass, sel *ast.SelectorExpr) string {
 		return id.Name
 	}
 	return "sync"
+}
+
+// namedRecv unwraps a method receiver type to its named type, looking
+// through a pointer.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/am"
 	"repro/internal/fault"
@@ -70,6 +71,17 @@ type Config struct {
 	// FaultSeed seeds the fault schedule; meaningful only with FaultSpec.
 	FaultSeed uint64
 
+	// Shards selects the intra-run engine: 0 (the default) chooses
+	// automatically — the serial event loop below AutoShardNodes, the
+	// tiled conservative-window engine with AutoShardWorkers workers at or
+	// above it; a negative value forces the serial engine; N >= 1 forces
+	// the tiled engine with N worker goroutines (clamped to the tile
+	// count). Tiles are fixed by geometry alone, so for a given config the
+	// tiled engine produces identical results at every worker count —
+	// Shards only moves wall-clock time. Configs the tiled engine does not
+	// support (see tilingOK) fall back to the serial engine.
+	Shards int
+
 	// EventLimit overrides the runaway-simulation guard (dispatched-event
 	// cap); 0 uses the default of 2e9 events.
 	EventLimit uint64
@@ -97,6 +109,85 @@ func DefaultConfig() Config {
 // MaxNodes is the largest supported machine, bounded by the directory's
 // sharer-bitset capacity (see mem.MaxNodes).
 const MaxNodes = mem.MaxNodes
+
+// Tiled-engine policy knobs.
+const (
+	// AutoShardNodes is the node count at or above which Shards = 0 picks
+	// the tiled engine automatically. Below it the serial loop wins: the
+	// per-window barrier costs more than the work it parallelizes.
+	AutoShardNodes = 128
+	// AutoShardWorkers is the worker count the automatic choice uses.
+	AutoShardWorkers = 4
+	// maxTiles caps how many row bands a machine is cut into. Eight keeps
+	// bands at least two rows tall on every supported geometry at least
+	// 16 rows high, which bounds barrier frequency; more tiles than
+	// cores-worth of workers buys nothing.
+	maxTiles = 8
+)
+
+// TileCount returns how many contiguous row bands the tiled engine would
+// split this machine into: one per row, capped at maxTiles. The count
+// depends on geometry alone — never on Shards or the worker budget — so a
+// machine's tiling, and therefore its simulated result, is a pure
+// function of the model.
+func (c Config) TileCount() int {
+	if c.Height < maxTiles {
+		return c.Height
+	}
+	return maxTiles
+}
+
+// tilingOK reports whether this config can run on the tiled engine. The
+// observability paths (metrics, tracing, span capture), cross-traffic
+// generators, the ideal-network emulation, and jittered faults all assume
+// one serial event loop; such configs keep the serial engine rather than
+// grow locks. Outage and stall-window faults are fine: their injector is
+// read-only per packet with atomic counters.
+func (c Config) tilingOK() bool {
+	if c.TileCount() < 2 || c.HopLatency <= 0 {
+		return false
+	}
+	if c.Metrics || c.SpanCap > 0 || c.TraceCap > 0 {
+		return false
+	}
+	if c.CrossTraffic.BytesPerCycle > 0 || c.IdealNetOneWayCycles > 0 {
+		return false
+	}
+	if c.FaultSpec != "" {
+		fc, err := fault.Parse(c.FaultSpec)
+		if err != nil || fc.Jitter.Max > 0 {
+			// Jitter draws from one RNG stream in global packet-send order,
+			// an ordering only the serial loop provides.
+			return false
+		}
+	}
+	return true
+}
+
+// Tiled reports whether this config runs on the tiled engine.
+func (c Config) Tiled() bool {
+	if c.Shards < 0 || (c.Shards == 0 && c.Nodes() < AutoShardNodes) {
+		return false
+	}
+	return c.tilingOK()
+}
+
+// EffectiveShards returns the number of worker goroutines the run's
+// engine uses: 0 for the serial engine, otherwise Shards (or
+// AutoShardWorkers under the automatic choice) clamped to the tile count.
+func (c Config) EffectiveShards() int {
+	if !c.Tiled() {
+		return 0
+	}
+	n := c.Shards
+	if n == 0 {
+		n = AutoShardWorkers
+	}
+	if t := c.TileCount(); n > t {
+		n = t
+	}
+	return n
+}
 
 // Geometry factors nodes into the canonical P×Q wormhole-mesh shape:
 // the widest near-square grid, width >= height, matching Alewife's 8x4
@@ -142,8 +233,13 @@ func (c Config) Nodes() int { return c.Width * c.Height }
 // set up application state (allocations, handlers), then call Run exactly
 // once.
 type Machine struct {
-	Cfg   Config
-	Eng   *sim.Engine
+	Cfg Config
+	// Eng is the serial event engine; nil under the tiled engine, where
+	// every node's events run on its tile (see EngineFor and Grp).
+	Eng *sim.Engine
+	// Grp coordinates the tiled engine's conservative windows; nil for
+	// serial runs.
+	Grp   *sim.Group
 	Clk   sim.Clock
 	Net   *mesh.Network
 	Store *mem.Store
@@ -171,6 +267,18 @@ type Machine struct {
 	ran    bool
 	doneN  int
 	finish sim.Time
+
+	engs   []*sim.Engine // tiled: engs[b] executes band b; nil for serial
+	tileOf []int         // tiled: node -> band of the node's row
+}
+
+// EngineFor returns the engine that executes node's events: the serial
+// engine, or the node's tile under the tiled engine.
+func (m *Machine) EngineFor(node int) *sim.Engine {
+	if m.Grp == nil {
+		return m.Eng
+	}
+	return m.engs[m.tileOf[node]]
 }
 
 // New builds a machine from cfg.
@@ -182,7 +290,30 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: %dx%d = %d nodes exceeds the %d-node directory capacity",
 			cfg.Width, cfg.Height, cfg.Nodes(), MaxNodes))
 	}
-	eng := sim.NewEngine()
+	var (
+		eng *sim.Engine
+		grp *sim.Group
+	)
+	if cfg.Tiled() {
+		// The per-hop head latency is the lookahead: every band is at
+		// least one hop wide, so any cross-band interaction takes at
+		// least one HopLatency of simulated time.
+		grp = sim.NewGroup(cfg.TileCount(), cfg.HopLatency)
+		workers := cfg.EffectiveShards()
+		// Auto-sharding adapts the worker count to the host: extra
+		// workers on fewer cores only add barrier traffic. An explicit
+		// Shards=N is honored exactly (tests rely on forcing multi-worker
+		// schedules regardless of host). Engine *choice* stays a pure
+		// function of the config — worker count is pure scheduling, so
+		// results and cache keys are host-independent either way.
+		if cfg.Shards == 0 && workers > runtime.GOMAXPROCS(0) {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		grp.SetWorkers(workers)
+		eng = grp.Engine(0) // substrate default; retiled per node below
+	} else {
+		eng = sim.NewEngine()
+	}
 	clk := sim.NewClock(cfg.ClockMHz)
 	net := mesh.New(eng, mesh.Config{
 		Width: cfg.Width, Height: cfg.Height,
@@ -193,8 +324,27 @@ func New(cfg Config) *Machine {
 	msys := mem.NewSystem(eng, net, clk, cfg.Mem, store)
 	asys := am.NewSystem(eng, net, clk, cfg.AM)
 	m := &Machine{
-		Cfg: cfg, Eng: eng, Clk: clk, Net: net,
+		Cfg: cfg, Eng: eng, Grp: grp, Clk: clk, Net: net,
 		Store: store, Mem: msys, AM: asys,
+	}
+	if grp != nil {
+		m.Eng = nil
+		tiles := grp.Tiles()
+		bandOfRow := make([]int, cfg.Height)
+		for r := range bandOfRow {
+			bandOfRow[r] = r * tiles / cfg.Height
+		}
+		m.tileOf = make([]int, cfg.Nodes())
+		for n := range m.tileOf {
+			m.tileOf[n] = bandOfRow[n/cfg.Width]
+		}
+		m.engs = make([]*sim.Engine, tiles)
+		for i := range m.engs {
+			m.engs[i] = grp.Engine(i)
+		}
+		net.SetTiles(bandOfRow, m.engs)
+		msys.SetTileEngines(m.EngineFor)
+		asys.SetTileEngines(m.EngineFor)
 	}
 	for i := 0; i < cfg.Nodes(); i++ {
 		net.Attach(i, asys.Endpoint(i)) // AM queueing; coherence passes through
@@ -251,6 +401,13 @@ type Result struct {
 	Bisection         float64           // native bisection bandwidth, bytes/cycle
 	EmulatedBisection float64           // native minus cross-traffic, bytes/cycle
 	Links             []mesh.LinkLoad   // the run's three hottest mesh links
+
+	// Tiled-engine shape: tile and conservative-window counts, both pure
+	// functions of the config (identical at every worker count, so they
+	// are safe to carry in a result that must deep-equal across Shards
+	// settings). Zero means the serial engine ran.
+	Tiles   int
+	Windows uint64
 }
 
 // Run executes body on every processor concurrently (SPMD) and returns
@@ -264,15 +421,20 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		m.Net.StartCrossTraffic(m.Cfg.CrossTraffic, m.Clk)
 	}
 	n := len(m.Procs)
+	tiled := m.Grp != nil
 	for _, p := range m.Procs {
 		p := p
-		p.th = m.Eng.Spawn(fmt.Sprintf("proc%d", p.ID), 0, func(th *sim.Thread) {
+		p.th = m.EngineFor(p.ID).Spawn(fmt.Sprintf("proc%d", p.ID), 0, func(th *sim.Thread) {
 			body(p)
-			p.doneAt = m.Eng.Now()
-			m.doneN++
-			if m.doneN == n {
-				m.finish = m.Eng.Now()
-				m.Net.StopCrossTraffic()
+			p.doneAt = th.Now()
+			if !tiled {
+				// Cross-tile shared counters are off-limits under tiling;
+				// completion is reconstructed from per-proc state after Run.
+				m.doneN++
+				if m.doneN == n {
+					m.finish = th.Now()
+					m.Net.StopCrossTraffic()
+				}
 			}
 		})
 	}
@@ -280,13 +442,30 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	if limit == 0 {
 		limit = 2_000_000_000
 	}
-	m.Eng.SetEventLimit(limit)
-	if m.Cfg.DeadlineCycles > 0 {
-		m.Eng.SetDeadline(m.Clk.Cycles(m.Cfg.DeadlineCycles))
+	if tiled {
+		m.Grp.SetEventLimit(limit)
+		if m.Cfg.DeadlineCycles > 0 {
+			m.Grp.SetDeadline(m.Clk.Cycles(m.Cfg.DeadlineCycles))
+		}
+	} else {
+		m.Eng.SetEventLimit(limit)
+		if m.Cfg.DeadlineCycles > 0 {
+			m.Eng.SetDeadline(m.Clk.Cycles(m.Cfg.DeadlineCycles))
+		}
 	}
 	m.runEngine()
+	if tiled {
+		for _, p := range m.Procs {
+			if p.th.State() == sim.ThreadDone {
+				m.doneN++
+				if p.doneAt > m.finish {
+					m.finish = p.doneAt
+				}
+			}
+		}
+	}
 	if m.doneN != n {
-		d := m.Eng.Diagnose(sim.StallDeadlock)
+		d := m.diagnose(sim.StallDeadlock)
 		d.Notes = append(d.Notes, fmt.Sprintf("only %d/%d processors finished", m.doneN, n))
 		panic(m.enrich(d))
 	}
@@ -303,6 +482,11 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	for i, p := range m.Procs {
 		res.PerProc[i] = p.BD
 		res.Breakdown = res.Breakdown.Plus(p.BD)
+		res.Events = res.Events.Plus(p.Ev)
+	}
+	if m.Grp != nil {
+		res.Tiles = m.Grp.Tiles()
+		res.Windows = m.Grp.Windows()
 	}
 	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
 	res.EmulatedBisection = res.Bisection - m.Cfg.CrossTraffic.BytesPerCycle
@@ -337,7 +521,19 @@ func (m *Machine) runEngine() {
 			panic(r)
 		}
 	}()
+	if m.Grp != nil {
+		m.Grp.Run()
+		return
+	}
 	m.Eng.Run()
+}
+
+// diagnose captures engine-level liveness state from whichever engine ran.
+func (m *Machine) diagnose(kind sim.StallKind) *sim.StallError {
+	if m.Grp != nil {
+		return m.Grp.Diagnose(kind)
+	}
+	return m.Eng.Diagnose(kind)
 }
 
 // maxDumpNotes bounds each subsystem's contribution to a stall dump.
@@ -348,7 +544,7 @@ func (m *Machine) enrich(se *sim.StallError) *sim.StallError {
 	for _, s := range m.Mem.BusyDump(maxDumpNotes) {
 		se.Notes = append(se.Notes, "mem: "+s)
 	}
-	for _, s := range m.Net.OccupiedLinks(m.Eng.Now(), maxDumpNotes) {
+	for _, s := range m.Net.OccupiedLinks(se.Now, maxDumpNotes) {
 		se.Notes = append(se.Notes, "net: "+s)
 	}
 	for _, s := range m.AM.QueueDump(maxDumpNotes) {

@@ -35,6 +35,11 @@ type Proc struct {
 	M  *Machine
 	ID int
 	BD stats.Breakdown
+	// Ev accumulates counters owned by layers above the substrates
+	// (synchronization library). Per-processor — written only from p's own
+	// thread — so the tiled engine needs no locking; Run sums them into
+	// Result.Events.
+	Ev stats.Events
 
 	th     *sim.Thread
 	mode   RecvMode
@@ -160,7 +165,7 @@ func (p *Proc) Poll() int {
 func (p *Proc) WaitAndHandle() int {
 	if !p.M.AM.HasPending(p.ID) {
 		start := p.th.Now()
-		p.M.AM.Notify(p.ID, func() { p.th.WakeAt(p.M.Eng.Now()) })
+		p.M.AM.Notify(p.ID, func() { p.th.WakeAt(p.th.Engine().Now()) })
 		p.th.SetWaitReason("await-message", 0)
 		p.th.Pause()
 		p.BD.Add(stats.BucketSync, p.th.Now()-start)

@@ -13,13 +13,15 @@ const (
 type cacheLine struct {
 	tag   Addr // line number (addr / LineWords); valid only if state != lineInvalid
 	state lineState
+	gen   uint64 // home's ownership generation for a Modified copy (see dirEntry.modGen)
 }
 
 // pfEntry is one prefetch buffer slot.
 type pfEntry struct {
 	tag   Addr
 	state lineState
-	used  bool // filled
+	gen   uint64 // as cacheLine.gen
+	used  bool   // filled
 }
 
 // cache models one node's direct-mapped cache plus its software-prefetch
@@ -49,19 +51,22 @@ func (c *cache) lookup(line Addr) lineState {
 	return lineInvalid
 }
 
-// fill installs line with state st, returning the victim line number and
-// whether the victim was dirty (needs write-back). A victim of NilAddr
-// means the frame was free or held the same line.
-func (c *cache) fill(line Addr, st lineState) (victim Addr, victimDirty bool) {
+// fill installs line with state st and ownership generation gen,
+// returning the victim line number, whether the victim was dirty (needs
+// write-back), and the victim's generation. A victim of NilAddr means
+// the frame was free or held the same line.
+func (c *cache) fill(line Addr, st lineState, gen uint64) (victim Addr, victimDirty bool, victimGen uint64) {
 	fr := &c.lines[c.idx(line)]
-	victim, victimDirty = NilAddr, false
+	victim, victimDirty, victimGen = NilAddr, false, 0
 	if fr.state != lineInvalid && fr.tag != line {
 		victim = fr.tag
 		victimDirty = fr.state == lineModified
+		victimGen = fr.gen
 	}
 	fr.tag = line
 	fr.state = st
-	return victim, victimDirty
+	fr.gen = gen
+	return victim, victimDirty, victimGen
 }
 
 // setState updates the state of a resident line; no-op if absent.
@@ -115,28 +120,31 @@ func (c *cache) pfLookup(line Addr) int {
 // pfFill deposits a prefetched line, evicting FIFO. It returns the evicted
 // line (NilAddr if the slot was free) and whether the eviction dropped a
 // dirty copy. An unused eviction is a "useless prefetch" signal.
-func (c *cache) pfFill(line Addr, st lineState) (evicted Addr, evictedDirty bool) {
+func (c *cache) pfFill(line Addr, st lineState, gen uint64) (evicted Addr, evictedDirty bool, evictedGen uint64) {
 	if len(c.pf) == 0 {
-		return NilAddr, false
+		return NilAddr, false, 0
 	}
 	slot := &c.pf[c.pfNxt]
 	c.pfNxt = (c.pfNxt + 1) % len(c.pf)
-	evicted, evictedDirty = NilAddr, false
+	evicted, evictedDirty, evictedGen = NilAddr, false, 0
 	if slot.used {
 		evicted = slot.tag
 		evictedDirty = slot.state == lineModified
+		evictedGen = slot.gen
 	}
 	slot.tag = line
 	slot.state = st
+	slot.gen = gen
 	slot.used = true
-	return evicted, evictedDirty
+	return evicted, evictedDirty, evictedGen
 }
 
-// pfTake removes slot i from the prefetch buffer, returning its state.
-func (c *cache) pfTake(i int) lineState {
-	st := c.pf[i].state
+// pfTake removes slot i from the prefetch buffer, returning its state
+// and ownership generation.
+func (c *cache) pfTake(i int) (lineState, uint64) {
+	st, gen := c.pf[i].state, c.pf[i].gen
 	c.pf[i].used = false
-	return st
+	return st, gen
 }
 
 // has reports whether the line is present in cache or prefetch buffer.

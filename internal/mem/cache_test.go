@@ -17,7 +17,7 @@ func TestCacheFillLookup(t *testing.T) {
 	if c.lookup(10) != lineInvalid {
 		t.Error("empty cache returned a hit")
 	}
-	victim, dirty := c.fill(10, lineShared)
+	victim, dirty, _ := c.fill(10, lineShared, 0)
 	if victim != NilAddr || dirty {
 		t.Errorf("fill into empty frame evicted %d dirty=%v", victim, dirty)
 	}
@@ -28,8 +28,8 @@ func TestCacheFillLookup(t *testing.T) {
 
 func TestCacheConflictEviction(t *testing.T) {
 	c := newTestCache() // 64 lines: 10 and 74 conflict
-	c.fill(10, lineModified)
-	victim, dirty := c.fill(74, lineShared)
+	c.fill(10, lineModified, 0)
+	victim, dirty, _ := c.fill(74, lineShared, 0)
 	if victim != 10 || !dirty {
 		t.Errorf("conflict fill: victim=%d dirty=%v, want 10 dirty", victim, dirty)
 	}
@@ -43,8 +43,8 @@ func TestCacheConflictEviction(t *testing.T) {
 
 func TestCacheRefillSameLineNoVictim(t *testing.T) {
 	c := newTestCache()
-	c.fill(10, lineShared)
-	victim, dirty := c.fill(10, lineModified)
+	c.fill(10, lineShared, 0)
+	victim, dirty, _ := c.fill(10, lineModified, 0)
 	if victim != NilAddr || dirty {
 		t.Errorf("same-line refill produced victim %d", victim)
 	}
@@ -55,7 +55,7 @@ func TestCacheRefillSameLineNoVictim(t *testing.T) {
 
 func TestCacheInvalidateAndDowngrade(t *testing.T) {
 	c := newTestCache()
-	c.fill(5, lineModified)
+	c.fill(5, lineModified, 0)
 	c.downgrade(5)
 	if c.lookup(5) != lineShared {
 		t.Error("downgrade failed")
@@ -75,11 +75,11 @@ func TestCacheInvalidateAndDowngrade(t *testing.T) {
 func TestPrefetchBufferFIFO(t *testing.T) {
 	c := newTestCache() // 4 pf entries
 	for i := Addr(0); i < 4; i++ {
-		if ev, _ := c.pfFill(100+i, lineShared); ev != NilAddr {
+		if ev, _, _ := c.pfFill(100+i, lineShared, 0); ev != NilAddr {
 			t.Fatalf("early eviction of %d", ev)
 		}
 	}
-	ev, dirty := c.pfFill(200, lineModified)
+	ev, dirty, _ := c.pfFill(200, lineModified, 0)
 	if ev != 100 || dirty {
 		t.Errorf("FIFO eviction = %d dirty=%v, want 100 clean", ev, dirty)
 	}
@@ -93,18 +93,18 @@ func TestPrefetchBufferFIFO(t *testing.T) {
 
 func TestPrefetchBufferTakeAndInvalidate(t *testing.T) {
 	c := newTestCache()
-	c.pfFill(42, lineModified)
+	c.pfFill(42, lineModified, 0)
 	i := c.pfLookup(42)
 	if i < 0 {
 		t.Fatal("pf entry missing")
 	}
-	if st := c.pfTake(i); st != lineModified {
+	if st, _ := c.pfTake(i); st != lineModified {
 		t.Errorf("pfTake state = %d", st)
 	}
 	if c.pfLookup(42) >= 0 {
 		t.Error("taken entry still present")
 	}
-	c.pfFill(43, lineModified)
+	c.pfFill(43, lineModified, 0)
 	if !c.invalidate(43) {
 		t.Error("invalidate of modified pf entry should report dirty")
 	}
@@ -115,8 +115,8 @@ func TestPrefetchBufferTakeAndInvalidate(t *testing.T) {
 
 func TestCacheHasCoversBoth(t *testing.T) {
 	c := newTestCache()
-	c.fill(1, lineShared)
-	c.pfFill(2, lineShared)
+	c.fill(1, lineShared, 0)
+	c.pfFill(2, lineShared, 0)
 	if !c.has(1) || !c.has(2) || c.has(3) {
 		t.Error("has() wrong")
 	}
@@ -130,7 +130,7 @@ func TestCacheDirectMappedProperty(t *testing.T) {
 		last := map[Addr]Addr{} // frame -> line
 		for _, l := range lines {
 			line := Addr(l)
-			c.fill(line, lineShared)
+			c.fill(line, lineShared, 0)
 			last[line%64] = line
 		}
 		for frame, line := range last {

@@ -78,6 +78,14 @@ type dirEntry struct {
 	// owner fetches). Requests arriving while busy queue FIFO.
 	busy  bool
 	queue []func()
+
+	// modGen counts Modified-ownership grants for this line. The grant
+	// reply carries the value to the new owner's cache, and an eviction
+	// write-back echoes it back, so home can recognize a stale
+	// write-back (one overtaken by the evictor's re-acquisition) from
+	// home-side state alone — under the tiled engine the evictor's cache
+	// and pending set belong to another tile and must not be read here.
+	modGen uint64
 }
 
 // directory is one node's home directory.

@@ -33,8 +33,8 @@ func TestInvariantCheckerDetectsDoubleModified(t *testing.T) {
 	r := newRig()
 	line := Addr(7)
 	// Corrupt directly: two caches claim Modified copies of one line.
-	r.sys.nodes[1].cache.fill(line, lineModified)
-	r.sys.nodes[2].cache.fill(line, lineModified)
+	r.sys.nodes[1].cache.fill(line, lineModified, 0)
+	r.sys.nodes[2].cache.fill(line, lineModified, 0)
 	err := r.sys.CheckInvariants(false)
 	if err == nil {
 		t.Fatal("double-Modified corruption not detected by weak check")
@@ -53,7 +53,7 @@ func TestInvariantCheckerDetectsWrongOwner(t *testing.T) {
 	e.owner = 6
 	e.sharers.add(6)
 	// Node 4 holds Modified but the directory says node 6 owns it.
-	r.sys.nodes[4].cache.fill(line, lineModified)
+	r.sys.nodes[4].cache.fill(line, lineModified, 0)
 	err := r.sys.CheckInvariants(false)
 	if err == nil {
 		t.Fatal("ownership mismatch not detected by weak check")
@@ -71,7 +71,7 @@ func TestInvariantCheckerStrictDetectsStaleSharerBit(t *testing.T) {
 	e.state = dirShared
 	// Node 4 holds Shared but its sharer bit is missing: legal at no
 	// point (the bitset must be a superset of holders).
-	r.sys.nodes[4].cache.fill(line, lineShared)
+	r.sys.nodes[4].cache.fill(line, lineShared, 0)
 	if err := r.sys.CheckInvariants(false); err != nil {
 		t.Fatalf("weak check must ignore sharer bitsets: %v", err)
 	}

@@ -63,7 +63,7 @@ func (s *System) storeRelaxed(th *sim.Thread, node int, a Addr, v float64, bd *s
 			delete(rc.pending, a)
 		}
 		rc.outstanding--
-		s.wakeRC(rc)
+		s.wakeRC(node, rc)
 	}
 
 	if t := nm.pending[line]; t != nil && t.write {
@@ -93,9 +93,9 @@ func (s *System) storeRelaxed(th *sim.Thread, node int, a Addr, v float64, bd *s
 		// A prefetched copy exists: consume it (leaving it would strand a
 		// duplicate — and possibly second-Modified — copy in the prefetch
 		// buffer once the store's own fill lands in the cache).
-		pst := nm.cache.pfTake(i)
-		s.installLine(node, line, pst)
-		s.ev.PrefetchUseful++
+		pst, pgen := nm.cache.pfTake(i)
+		s.installLine(node, line, pst, pgen)
+		s.evs[node].PrefetchUseful++
 		if pst == lineModified {
 			// Prefetched ownership: the store completes locally.
 			s.store.Poke(a, v)
@@ -110,7 +110,7 @@ func (s *System) storeRelaxed(th *sim.Thread, node int, a Addr, v float64, bd *s
 
 	// Full buffer applies back-pressure.
 	for rc.outstanding >= s.par.WriteBufferDepth {
-		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: th.Now()})
 		th.SetWaitReason("rc-buffer-full", int64(rc.outstanding))
 		th.Pause()
 	}
@@ -130,10 +130,10 @@ func (s *System) chargeStoreIssue(th *sim.Thread, bd *stats.Breakdown) {
 }
 
 // wakeRC wakes all fence/full-buffer waiters to recheck their condition.
-func (s *System) wakeRC(rc *rcState) {
+func (s *System) wakeRC(node int, rc *rcState) {
 	ws := rc.waiters
 	rc.waiters = nil
-	now := s.eng.Now()
+	now := s.engAt(node).Now()
 	for _, w := range ws {
 		w.bd.Add(w.bucket, now-w.start)
 		w.th.WakeAt(now)
@@ -148,7 +148,7 @@ func (s *System) Fence(th *sim.Thread, node int, bd *stats.Breakdown, bucket sta
 	}
 	rc := s.nodes[node].rc()
 	for rc.outstanding > 0 {
-		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+		rc.waiters = append(rc.waiters, waiter{th: th, bd: bd, bucket: bucket, start: th.Now()})
 		th.SetWaitReason("rc-fence", int64(rc.outstanding))
 		th.Pause()
 	}

@@ -28,7 +28,13 @@ type System struct {
 	par   Params
 	store *Store
 	nodes []*nodeMem
-	ev    stats.Events
+	// evs is per-node protocol event accounting. Each slot is only ever
+	// written from its node's engine context, so tiled runs count
+	// lock-free; Events sums across nodes.
+	evs []stats.Events
+	// engOf, when non-nil, maps a node to its tile engine (tiled runs);
+	// nil means every node shares eng. See SetTileEngines.
+	engOf func(node int) *sim.Engine
 
 	idealNet    bool
 	idealOneWay sim.Time
@@ -89,6 +95,7 @@ type txn struct {
 	prefetch bool
 	atomic   bool     // RMW/Update: requires exclusivity even under ProtocolUpdate
 	granted  bool     // home has issued the reply (it is en route)
+	gen      uint64   // dirEntry.modGen of a Modified grant (0 for shared grants)
 	start    sim.Time // issue time, for the miss-latency histogram
 
 	waiters    []waiter
@@ -114,6 +121,7 @@ func NewSystem(eng *sim.Engine, net *mesh.Network, clk sim.Clock, par Params, st
 		panic(fmt.Sprintf("mem: %d nodes exceeds the %d-node sharer bitset capacity", store.Nodes(), MaxNodes))
 	}
 	s := &System{eng: eng, net: net, clk: clk, par: par, store: store}
+	s.evs = make([]stats.Events, store.Nodes())
 	s.nodes = make([]*nodeMem, store.Nodes())
 	for i := range s.nodes {
 		s.nodes[i] = &nodeMem{
@@ -139,8 +147,32 @@ func (s *System) Store() *Store { return s.store }
 // Params returns the memory parameters.
 func (s *System) Params() Params { return s.par }
 
+// SetTileEngines routes per-node work to tile engines: every event the
+// system schedules on behalf of node n goes to engOf(n). The serial
+// engine passed to NewSystem remains the default when engOf is nil.
+// Cross-node protocol messages still travel the mesh, whose banded walk
+// performs the engine handoff, so every callback here runs in the
+// context of the node it touches.
+func (s *System) SetTileEngines(engOf func(node int) *sim.Engine) {
+	s.engOf = engOf
+}
+
+// engAt returns the engine that executes node's events.
+func (s *System) engAt(node int) *sim.Engine {
+	if s.engOf != nil {
+		return s.engOf(node)
+	}
+	return s.eng
+}
+
 // Events returns the accumulated protocol event counters.
-func (s *System) Events() stats.Events { return s.ev }
+func (s *System) Events() stats.Events {
+	var ev stats.Events
+	for i := range s.evs {
+		ev = ev.Plus(s.evs[i])
+	}
+	return ev
+}
 
 func (s *System) cyc(n int64) sim.Time { return s.clk.Cycles(n) }
 
@@ -155,12 +187,13 @@ func (s *System) lineHome(line Addr) int {
 // CtlServiceCycles (occupancy < latency, as in the CMMU).
 func (s *System) atCtl(node int, fn func()) {
 	nm := s.nodes[node]
-	start := s.eng.Now()
+	eng := s.engAt(node)
+	start := eng.Now()
 	if nm.ctlFree > start {
 		start = nm.ctlFree
 	}
 	nm.ctlFree = start + s.cyc(s.par.CtlServiceCycles)
-	s.eng.At(start+s.cyc(s.par.HomeOccCycles), fn)
+	eng.At(start+s.cyc(s.par.HomeOccCycles), fn)
 }
 
 // sendCoh moves a protocol message from src to dst and runs onDeliver at
@@ -169,9 +202,9 @@ func (s *System) atCtl(node int, fn func()) {
 func (s *System) sendCoh(src, dst int, class mesh.Class, payloadBytes int, onDeliver func()) {
 	switch {
 	case src == dst:
-		s.eng.After(0, onDeliver)
+		s.engAt(src).After(0, onDeliver)
 	case s.idealNet:
-		s.eng.After(s.idealOneWay, onDeliver)
+		s.engAt(src).After(s.idealOneWay, onDeliver)
 	default:
 		s.net.Send(&mesh.Packet{
 			Src: src, Dst: dst, Class: class,
@@ -232,7 +265,7 @@ func (s *System) Update(th *sim.Thread, node int, a Addr, fn func(), bd *stats.B
 // Prefetch issues a non-binding prefetch of a's line (write requests
 // exclusive ownership). It never blocks; the caller charges issue cost.
 func (s *System) Prefetch(node int, a Addr, write bool) {
-	s.ev.PrefetchIssued++
+	s.evs[node].PrefetchIssued++
 	nm := s.nodes[node]
 	line := LineOf(a, s.par.LineWords)
 	if t := nm.pending[line]; t != nil {
@@ -280,7 +313,7 @@ func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, 
 				// Join the in-flight transaction.
 				if t.prefetch {
 					t.prefetch = false
-					s.ev.PrefetchUseful++
+					s.evs[node].PrefetchUseful++
 				}
 				if apply != nil {
 					t.onComplete = append(t.onComplete, apply)
@@ -309,9 +342,9 @@ func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, 
 			pst := nm.cache.pf[i].state
 			if pst == lineModified || (pst == lineShared && !write) {
 				// Satisfied from the prefetch buffer: move into cache.
-				nm.cache.pfTake(i)
-				s.installLine(node, line, pst)
-				s.ev.PrefetchUseful++
+				_, pgen := nm.cache.pfTake(i)
+				s.installLine(node, line, pst, pgen)
+				s.evs[node].PrefetchUseful++
 				d := s.cyc(s.par.PrefetchMoveCycles)
 				bd.Add(bucket, d)
 				th.Sleep(d)
@@ -323,13 +356,13 @@ func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, 
 			// Present but in insufficient state (S, need M): promote to
 			// cache as shared, then fall through to an upgrade miss.
 			nm.cache.pfTake(i)
-			s.installLine(node, line, lineShared)
-			s.ev.PrefetchUseful++
+			s.installLine(node, line, lineShared, 0)
+			s.evs[node].PrefetchUseful++
 			st = lineShared
 		}
 
 		if write && st == lineShared {
-			s.ev.Upgrades++
+			s.evs[node].Upgrades++
 		}
 		t := s.startTxn(node, line, write, false)
 		t.atomic = atomic
@@ -343,17 +376,17 @@ func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, 
 
 // wait blocks th until t completes, charging the elapsed stall.
 func (s *System) wait(t *txn, th *sim.Thread, bd *stats.Breakdown, bucket stats.TimeBucket) {
-	t.waiters = append(t.waiters, waiter{th: th, bd: bd, bucket: bucket, start: s.eng.Now()})
+	t.waiters = append(t.waiters, waiter{th: th, bd: bd, bucket: bucket, start: th.Now()})
 	th.SetWaitReason("mem-miss line", int64(t.line))
 	th.Pause()
 }
 
 // installLine places a line into node's cache, emitting any victim
 // write-back.
-func (s *System) installLine(node int, line Addr, st lineState) {
-	victim, dirty := s.nodes[node].cache.fill(line, st)
+func (s *System) installLine(node int, line Addr, st lineState, gen uint64) {
+	victim, dirty, victimGen := s.nodes[node].cache.fill(line, st, gen)
 	if victim != NilAddr && dirty {
-		s.writeback(node, victim)
+		s.writeback(node, victim, victimGen)
 	}
 }
 
@@ -362,14 +395,15 @@ func (s *System) installLine(node int, line Addr, st lineState) {
 // ---------------------------------------------------------------------------
 
 func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
+	eng := s.engAt(node)
 	if s.tr != nil {
 		w := int64(0)
 		if write {
 			w = 1
 		}
-		s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMissStart, A: int64(line), B: w})
+		s.tr.Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissStart, A: int64(line), B: w})
 	}
-	t := &txn{line: line, write: write, node: node, prefetch: prefetch, start: s.eng.Now()}
+	t := &txn{line: line, write: write, node: node, prefetch: prefetch, start: eng.Now()}
 	s.nodes[node].pending[line] = t
 	if s.mTxnTotal != nil {
 		s.mTxnTotal.Inc()
@@ -381,7 +415,7 @@ func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
 		s.atCtl(home, func() { s.homeDispatch(home, node, line, write, t) })
 		return t
 	}
-	s.eng.After(s.cyc(s.par.ReqCycles), func() {
+	eng.After(s.cyc(s.par.ReqCycles), func() {
 		s.sendCoh(node, home, mesh.ClassCohReq, 0, func() {
 			s.atCtl(home, func() { s.homeDispatch(home, node, line, write, t) })
 		})
@@ -418,14 +452,16 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 			// line from its processor's cache inline — no network, no
 			// extra controller passes (Alewife's 2-party dirty case).
 			serve := func() {
-				s.ev.RemoteMissesDty++
+				s.evs[home].RemoteMissesDty++
 				if write {
-					s.ev.Invalidations++
+					s.evs[home].Invalidations++
 					s.nodes[home].cache.invalidate(line)
 					e.state = dirModified
 					e.owner = req
 					e.sharers = sharerSet{}
 					e.sharers.add(req)
+					e.modGen++
+					t.gen = e.modGen
 				} else {
 					s.nodes[home].cache.downgrade(line)
 					e.state = dirShared
@@ -450,12 +486,12 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 		}
 		// Dirty at a third party: fetch (and for writes, invalidate) the
 		// owner's copy.
-		s.ev.RemoteMissesDty++
+		s.evs[home].RemoteMissesDty++
 		owner := e.owner
 		class := mesh.ClassCohReq
 		if write {
 			class = mesh.ClassCohInval
-			s.ev.Invalidations++
+			s.evs[home].Invalidations++
 		}
 		s.sendCoh(home, owner, class, 0, func() {
 			s.atCtl(owner, func() { s.ownerFetch(owner, home, req, line, write, t) })
@@ -475,7 +511,7 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 		s.countMiss(home, req, false)
 		extra := sim.Time(0)
 		if e.sharers.count() >= s.par.HWPointers {
-			s.ev.LimitLESSTraps++
+			s.evs[home].LimitLESSTraps++
 			extra = s.cyc(s.par.LimitLESSCycles)
 		}
 		e.state = dirShared
@@ -494,6 +530,8 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 		e.owner = req
 		e.sharers = sharerSet{}
 		e.sharers.add(req)
+		e.modGen++
+		t.gen = e.modGen
 		s.grant(home, req, line, true, t, 0)
 		s.release(home, e)
 		return
@@ -505,14 +543,14 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 	}
 	extra := sim.Time(0)
 	if shs.count() >= s.par.HWPointers {
-		s.ev.LimitLESSTraps++
+		s.evs[home].LimitLESSTraps++
 		// Software walks the overflow directory and invalidates each
 		// sharer: a fixed trap cost plus a per-sharer term.
 		extra = s.cyc(s.par.LimitLESSCycles + s.par.LimitLESSPerSharerCycles*int64(shs.count()))
 	}
 	acks := shs.count()
 	shs.forEach(func(sh int) {
-		s.ev.Invalidations++
+		s.evs[home].Invalidations++
 		s.sendCoh(home, sh, mesh.ClassCohInval, 0, func() {
 			s.atCtl(sh, func() {
 				s.invalidateAt(sh, line, func() {
@@ -524,6 +562,8 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 								e.owner = req
 								e.sharers = sharerSet{}
 								e.sharers.add(req)
+								e.modGen++
+								t.gen = e.modGen
 								s.grant(home, req, line, true, t, extra)
 								s.release(home, e)
 							}
@@ -539,11 +579,11 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 func (s *System) countMiss(home, req int, dirty bool) {
 	switch {
 	case dirty:
-		s.ev.RemoteMissesDty++
+		s.evs[home].RemoteMissesDty++
 	case req == home:
-		s.ev.LocalMisses++
+		s.evs[home].LocalMisses++
 	default:
-		s.ev.RemoteMissesCln++
+		s.evs[home].RemoteMissesCln++
 	}
 }
 
@@ -562,7 +602,7 @@ func (s *System) invalidateAt(node int, line Addr, ack func()) {
 		return
 	}
 	if s.tr != nil {
-		s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KInval, A: int64(line)})
+		s.tr.Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KInval, A: int64(line)})
 	}
 	nm.cache.invalidate(line)
 	ack()
@@ -599,6 +639,8 @@ func (s *System) ownerFetchNow(owner, home, req int, line Addr, write bool, t *t
 				e.owner = req
 				e.sharers = sharerSet{}
 				e.sharers.add(req)
+				e.modGen++
+				t.gen = e.modGen
 			} else {
 				e.state = dirShared
 				e.sharers = sharerSet{}
@@ -666,14 +708,16 @@ func (s *System) grantState(home, req int, line Addr, st lineState, t *txn, extr
 		if rest < 0 {
 			rest = 0
 		}
-		s.eng.After(s.cyc(rest)+extra, func() {
+		s.engAt(req).After(s.cyc(rest)+extra, func() {
 			s.completeTxn(req, line, st, t)
 		})
 		return
 	}
-	s.eng.After(delay, func() {
+	// The DRAM delay elapses at home; the reply's delivery callback (and
+	// so the fill timer) runs at the requestor.
+	s.engAt(home).After(delay, func() {
 		s.sendCoh(home, req, mesh.ClassCohData, s.par.LineBytes, func() {
-			s.eng.After(s.cyc(s.par.FillCycles), func() {
+			s.engAt(req).After(s.cyc(s.par.FillCycles), func() {
 				s.completeTxn(req, line, st, t)
 			})
 		})
@@ -699,21 +743,22 @@ func (s *System) release(home int, e *dirEntry) {
 // completeTxn installs the line, runs deferred operations, and wakes
 // waiting threads.
 func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
+	eng := s.engAt(node)
 	nm := s.nodes[node]
 	if t.prefetch {
-		evicted, dirty := nm.cache.pfFill(line, st)
+		evicted, dirty, evictedGen := nm.cache.pfFill(line, st, t.gen)
 		if evicted != NilAddr {
-			s.ev.PrefetchUseless++
+			s.evs[node].PrefetchUseless++
 			if dirty {
-				s.writeback(node, evicted)
+				s.writeback(node, evicted, evictedGen)
 			}
 		}
 	} else {
-		s.installLine(node, line, st)
+		s.installLine(node, line, st, t.gen)
 	}
 	delete(nm.pending, line)
 	if s.mMissRd != nil {
-		lat := s.clk.ToCycles(s.eng.Now() - t.start)
+		lat := s.clk.ToCycles(eng.Now() - t.start)
 		switch {
 		case t.prefetch:
 			s.mMissPf.Observe(lat)
@@ -724,35 +769,39 @@ func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
 		}
 	}
 	if s.tr != nil {
-		s.tr.Add(trace.Event{At: s.eng.Now(), Node: node, Kind: trace.KMissEnd, A: int64(line)})
+		s.tr.Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissEnd, A: int64(line)})
 	}
 	for _, f := range t.onComplete {
 		f()
 	}
-	now := s.eng.Now()
+	now := eng.Now()
 	for _, w := range t.waiters {
 		w.bd.Add(w.bucket, now-w.start)
 		w.th.WakeAt(now)
 	}
 }
 
-// writeback returns a dirty evicted line to its home.
-func (s *System) writeback(node int, line Addr) {
-	s.ev.WriteBacks++
+// writeback returns a dirty evicted line to its home. gen is the
+// ownership generation the evicted copy was granted under.
+func (s *System) writeback(node int, line Addr, gen uint64) {
+	s.evs[node].WriteBacks++
 	home := s.lineHome(line)
 	s.sendCoh(node, home, mesh.ClassCohData, s.par.LineBytes, func() {
 		s.atCtl(home, func() {
 			e := s.nodes[home].dir.entry(line)
-			nm := s.nodes[node]
 			// A fast re-request (8-byte header) can overtake the slower
 			// line-sized write-back packet, so by the time the write-back
-			// arrives the evictor may have re-acquired ownership (or have
-			// a re-acquisition in flight). Clearing the directory then
-			// would let a second node be granted Modified concurrently;
-			// the write-back is stale exactly when the evictor holds the
-			// line again or has a transaction pending on it.
+			// arrives the evictor may have re-acquired ownership. Clearing
+			// the directory then would let a second node be granted
+			// Modified concurrently; the write-back is stale exactly when
+			// its generation is not the one the directory last granted.
+			// (If a re-acquisition is merely in flight, clearing is
+			// harmless: the request then finds the line uncached, exactly
+			// as if it had been sent after the write-back landed. The
+			// generation check keeps this decision home-local — the
+			// evictor's cache and pending set may live on another tile.)
 			if !e.busy && e.state == dirModified && e.owner == node &&
-				!nm.cache.has(line) && nm.pending[line] == nil {
+				e.modGen == gen {
 				e.state = dirUncached
 				e.sharers = sharerSet{}
 				e.owner = -1

@@ -124,8 +124,15 @@ func (c Config) BisectionBytesPerCycle(clk sim.Clock) float64 {
 
 // Network is a simulated 2-D mesh.
 type Network struct {
-	eng *sim.Engine
-	cfg Config
+	// engs[b] executes all traffic while it is inside row band b, and
+	// bandOfRow maps a mesh row to its band; a row's links (its X links
+	// plus the Y links leaving it) are reserved and accounted only by the
+	// band's engine. An untiled network has a single band — engs[0] is
+	// the engine passed to New — and the segmented walk in Send then
+	// collapses to one eager in-line walk. See SetTiles.
+	engs      []*sim.Engine
+	bandOfRow []int
+	cfg       Config
 
 	// busyUntil[d][i] is the reservation horizon of directed link i in
 	// direction d. X links: index y*(Width-1)+x for the link between
@@ -138,15 +145,10 @@ type Network struct {
 
 	endpoints []Endpoint
 
-	// Volume accounting (application traffic).
-	vol stats.Volume
-	// Cross-traffic accounting.
-	xPackets, xBytes int64
-	// Bytes that crossed the X-dimension bisection, by app vs cross.
-	appBisectionBytes, xBisectionBytes int64
-
-	packetsSent int64
-	retries     int64
+	// bc is per-band traffic accounting; each band's counters are only
+	// written by its own engine, and the public accessors sum across
+	// bands.
+	bc []bandCounters
 
 	stopX bool // stops cross-traffic generators
 
@@ -160,6 +162,20 @@ type Network struct {
 	mBusy  [4][]*obs.Counter // serialization time per link, ps
 	mWait  [4][]*obs.Gauge   // high-water head wait (queueing delay), ps
 	mQueue *obs.Histogram    // head wait distribution across all hops, ps
+}
+
+// bandCounters is one row band's share of the network's traffic
+// accounting.
+type bandCounters struct {
+	// vol is application traffic volume by kind.
+	vol stats.Volume
+	// Cross-traffic accounting.
+	xPackets, xBytes int64
+	// Bytes that crossed the X-dimension bisection, by app vs cross.
+	appBisectionBytes, xBisectionBytes int64
+
+	packetsSent int64
+	retries     int64
 }
 
 // FaultInjector perturbs network behaviour deterministically. It is
@@ -222,7 +238,12 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.PsPerByte <= 0 {
 		panic("mesh: PsPerByte must be positive")
 	}
-	n := &Network{eng: eng, cfg: cfg}
+	n := &Network{
+		engs:      []*sim.Engine{eng},
+		bandOfRow: make([]int, cfg.Height),
+		bc:        make([]bandCounters, 1),
+		cfg:       cfg,
+	}
 	nx := (cfg.Width - 1) * cfg.Height
 	ny := cfg.Width * (cfg.Height - 1)
 	if cfg.Torus {
@@ -245,6 +266,37 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetTiles partitions execution across engines for the tiled parallel
+// engine: row y's links are owned by engs[bandOfRow[y]], and a packet's
+// walk hops engines (via sim.Engine.CrossAt) whenever it crosses a band
+// boundary, so link state stays single-writer without locks. bandOfRow
+// must assign every row a band, non-decreasing from 0 through
+// len(engs)-1, so bands are contiguous row ranges. Because every band
+// reserves at least one link — at least one HopLatency of simulated
+// time — before a packet can leave it, HopLatency is a safe lookahead
+// for the group's conservative windows.
+func (n *Network) SetTiles(bandOfRow []int, engs []*sim.Engine) {
+	if len(bandOfRow) != n.cfg.Height {
+		panic(fmt.Sprintf("mesh: bandOfRow covers %d rows, mesh has %d", len(bandOfRow), n.cfg.Height))
+	}
+	prev := 0
+	for y, b := range bandOfRow {
+		if b < prev || b >= len(engs) {
+			panic(fmt.Sprintf("mesh: bad band %d for row %d", b, y))
+		}
+		prev = b
+	}
+	if bandOfRow[0] != 0 || prev != len(engs)-1 {
+		panic(fmt.Sprintf("mesh: %d bands must cover rows contiguously from band 0", len(engs)))
+	}
+	n.engs = append([]*sim.Engine(nil), engs...)
+	n.bandOfRow = append([]int(nil), bandOfRow...)
+	n.bc = make([]bandCounters, len(engs))
+}
+
+// bandOf returns the band owning a node's row.
+func (n *Network) bandOf(node int) int { return n.bandOfRow[node/n.cfg.Width] }
 
 // Nodes returns the number of routers (compute endpoints).
 func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
@@ -316,111 +368,155 @@ func abs(v int) int {
 // packet is routed X-then-Y; its Deliver callback (if any) runs when the
 // destination endpoint accepts it. The returned time is when the packet's
 // head actually enters its first link — under congestion this lags Now,
-// which senders use to model finite output-queue depth.
+// which senders use to model finite output-queue depth. The first link
+// is always owned by the sender's own band, so the departure time is
+// resolved synchronously even when the rest of the walk continues on
+// other engines.
 func (n *Network) Send(p *Packet) sim.Time {
-	now := n.eng.Now()
-	n.packetsSent++
-	n.account(p)
+	band := n.bandOf(p.Src)
+	now := n.engs[band].Now()
+	n.bc[band].packetsSent++
+	n.account(band, p)
 
-	size := sim.Time(p.Size()) * n.cfg.PsPerByte
-	head := now
-	depart := now
-	first := true
-	hops := 0
+	wk := &walk{
+		p:      p,
+		size:   sim.Time(p.Size()) * n.cfg.PsPerByte,
+		head:   now,
+		depart: now,
+		first:  true,
+	}
+	wk.x, wk.y = n.XY(p.Src)
+	wk.dx, wk.dy = n.XY(p.Dst)
+	wk.yFirst = n.cfg.AdaptiveXY && wk.x != wk.dx && wk.y != wk.dy &&
+		n.yFirstFreer(wk.x, wk.y, wk.dx, wk.dy)
+	n.walkFrom(band, wk)
+	return wk.depart
+}
 
-	x, y := n.XY(p.Src)
-	dx, dy := n.XY(p.Dst)
+// walk is one packet's in-flight routing state. The route advances link
+// by link inside the band that owns each link and hands off to the next
+// band's engine at band boundaries, so every reservation is made by its
+// owner. With one band the whole walk runs inline in Send and
+// reproduces the eager single-engine behaviour event for event.
+type walk struct {
+	p      *Packet
+	size   sim.Time
+	head   sim.Time
+	depart sim.Time
+	first  bool
+	x, y   int
+	dx, dy int
+	yFirst bool // route Y before X (the adaptive choice)
+	cross  bool // crossed the X-dimension bisection
+}
+
+func (wk *walk) arrived() bool { return wk.x == wk.dx && wk.y == wk.dy }
+
+// walkFrom advances wk through every link owned by band. When the walk
+// leaves the band it resumes on the next band's engine at the head's
+// arrival time; the handoff always follows at least one reservation in
+// this band, so it lands at least one HopLatency past this engine's now
+// — within the tiled engine's lookahead bound.
+func (n *Network) walkFrom(band int, wk *walk) {
+	for {
+		if b := n.bandOfRow[wk.y]; b != band && !wk.arrived() {
+			n.engs[band].CrossAt(n.engs[b], wk.head, func() { n.walkFrom(b, wk) })
+			return
+		}
+		d, idx, ok := n.nextLink(wk)
+		if !ok {
+			break
+		}
+		wk.head = n.reserve(d, idx, wk.head, wk.size)
+		if wk.first {
+			wk.depart, wk.first = wk.head-n.cfg.HopLatency, false
+		}
+	}
+	n.finish(band, wk)
+}
+
+// nextLink picks the packet's next directed link per dimension-ordered
+// routing (X then Y, or Y then X when the adaptive choice flipped),
+// advances the walk's position, and flags bisection crossings. ok=false
+// means the packet has arrived.
+func (n *Network) nextLink(wk *walk) (d, idx int, ok bool) {
 	w, h := n.cfg.Width, n.cfg.Height
-	cross := false
-	doX := func() {
-		for x != dx {
-			var d, idx int
-			if n.stepX(x, dx) > 0 {
-				d = dirEast
-				if n.cfg.Torus {
-					idx = y*w + x
-					if x == w/2-1 || x == w-1 {
-						cross = true
-					}
-				} else {
-					idx = y*(w-1) + x
-					if x == w/2-1 {
-						cross = true
-					}
+	switch {
+	case wk.x != wk.dx && (!wk.yFirst || wk.y == wk.dy):
+		if n.stepX(wk.x, wk.dx) > 0 {
+			d = dirEast
+			if n.cfg.Torus {
+				idx = wk.y*w + wk.x
+				if wk.x == w/2-1 || wk.x == w-1 {
+					wk.cross = true
 				}
-				x = (x + 1) % w
 			} else {
-				d = dirWest
-				if n.cfg.Torus {
-					idx = y*w + (x-1+w)%w
-					if x == w/2 || x == 0 {
-						cross = true
-					}
-				} else {
-					idx = y*(w-1) + (x - 1)
-					if x == w/2 {
-						cross = true
-					}
+				idx = wk.y*(w-1) + wk.x
+				if wk.x == w/2-1 {
+					wk.cross = true
 				}
-				x = (x - 1 + w) % w
 			}
-			head = n.reserve(d, idx, head, size)
-			if first {
-				depart, first = head-n.cfg.HopLatency, false
-			}
-			hops++
-		}
-	}
-	doY := func() {
-		for y != dy {
-			var d, idx int
-			if n.stepY(y, dy) > 0 {
-				d = dirNorth
-				if n.cfg.Torus {
-					idx = y*w + x
-				} else {
-					idx = y*w + x
-				}
-				y = (y + 1) % h
-			} else {
-				d = dirSouth
-				if n.cfg.Torus {
-					idx = ((y-1+h)%h)*w + x
-				} else {
-					idx = (y-1)*w + x
-				}
-				y = (y - 1 + h) % h
-			}
-			head = n.reserve(d, idx, head, size)
-			if first {
-				depart, first = head-n.cfg.HopLatency, false
-			}
-			hops++
-		}
-	}
-	if n.cfg.AdaptiveXY && x != dx && y != dy && n.yFirstFreer(x, y, dx, dy) {
-		doY()
-		doX()
-	} else {
-		doX()
-		doY()
-	}
-	if cross {
-		if p.Class == ClassXTraffic {
-			n.xBisectionBytes += int64(p.Size())
+			wk.x = (wk.x + 1) % w
 		} else {
-			n.appBisectionBytes += int64(p.Size())
+			d = dirWest
+			if n.cfg.Torus {
+				idx = wk.y*w + (wk.x-1+w)%w
+				if wk.x == w/2 || wk.x == 0 {
+					wk.cross = true
+				}
+			} else {
+				idx = wk.y*(w-1) + (wk.x - 1)
+				if wk.x == w/2 {
+					wk.cross = true
+				}
+			}
+			wk.x = (wk.x - 1 + w) % w
+		}
+		return d, idx, true
+	case wk.y != wk.dy:
+		if n.stepY(wk.y, wk.dy) > 0 {
+			d = dirNorth
+			idx = wk.y*w + wk.x
+			wk.y = (wk.y + 1) % h
+		} else {
+			d = dirSouth
+			if n.cfg.Torus {
+				idx = ((wk.y-1+h)%h)*w + wk.x
+			} else {
+				idx = (wk.y-1)*w + wk.x
+			}
+			wk.y = (wk.y - 1 + h) % h
+		}
+		return d, idx, true
+	}
+	return 0, 0, false
+}
+
+// finish completes an arrived walk in its final band: bisection
+// accounting, tail timing, and delivery scheduling on the destination
+// node's engine.
+func (n *Network) finish(band int, wk *walk) {
+	p := wk.p
+	if wk.cross {
+		if p.Class == ClassXTraffic {
+			n.bc[band].xBisectionBytes += int64(p.Size())
+		} else {
+			n.bc[band].appBisectionBytes += int64(p.Size())
 		}
 	}
-
-	// Head passes hops routers plus the ejection stage; the tail follows
+	// Head passes the routers plus the ejection stage; the tail follows
 	// by the serialization time.
-	tail := head + n.cfg.HopLatency + size
+	tail := wk.head + n.cfg.HopLatency + wk.size
 	if n.fault != nil {
 		tail += n.fault.PacketJitter()
 	}
-	n.eng.At(tail, func() { n.deliver(p) })
-	return depart
+	if db := n.bandOf(p.Dst); db != band {
+		// A walk whose last link ends on the first row of another band
+		// delivers there.
+		n.engs[band].CrossAt(n.engs[db], tail, func() { n.deliver(p) })
+	} else {
+		n.engs[band].At(tail, func() { n.deliver(p) })
+	}
 }
 
 // yFirstFreer reports whether the first Y-direction link out of (x,y) is
@@ -508,53 +604,84 @@ func (n *Network) deliver(p *Packet) {
 		// disturbing the compute node's network interface.
 		return
 	}
+	band := n.bandOf(p.Dst)
+	eng := n.engs[band]
 	ep := n.endpoints[p.Dst]
-	ok, retryAt := ep.TryDeliver(n.eng.Now(), p)
+	ok, retryAt := ep.TryDeliver(eng.Now(), p)
 	if ok {
 		return
 	}
-	n.retries++
-	if retryAt <= n.eng.Now() {
-		retryAt = n.eng.Now() + n.cfg.HopLatency
+	n.bc[band].retries++
+	if retryAt <= eng.Now() {
+		retryAt = eng.Now() + n.cfg.HopLatency
 	}
-	n.eng.At(retryAt, func() { n.deliver(p) })
+	eng.At(retryAt, func() { n.deliver(p) })
 }
 
-func (n *Network) account(p *Packet) {
+func (n *Network) account(band int, p *Packet) {
+	bc := &n.bc[band]
 	if p.Class == ClassXTraffic {
-		n.xPackets++
-		n.xBytes += int64(p.Size())
+		bc.xPackets++
+		bc.xBytes += int64(p.Size())
 		return
 	}
 	switch p.Class {
 	case ClassCohReq, ClassCohAck:
-		n.vol.Add(stats.VolRequests, int64(p.Size()))
+		bc.vol.Add(stats.VolRequests, int64(p.Size()))
 	case ClassCohInval:
-		n.vol.Add(stats.VolInvalidates, int64(p.Size()))
+		bc.vol.Add(stats.VolInvalidates, int64(p.Size()))
 	case ClassCohData, ClassAM, ClassBulk:
-		n.vol.Add(stats.VolHeaders, int64(p.HdrBytes))
-		n.vol.Add(stats.VolData, int64(p.PayloadBytes))
+		bc.vol.Add(stats.VolHeaders, int64(p.HdrBytes))
+		bc.vol.Add(stats.VolData, int64(p.PayloadBytes))
 	}
 }
 
 // Volume returns accumulated application traffic volume by kind.
-func (n *Network) Volume() stats.Volume { return n.vol }
+func (n *Network) Volume() stats.Volume {
+	var v stats.Volume
+	for i := range n.bc {
+		for k, b := range n.bc[i].vol.Bytes {
+			v.Bytes[k] += b
+		}
+	}
+	return v
+}
 
 // PacketsSent returns the count of application and cross-traffic packets.
-func (n *Network) PacketsSent() int64 { return n.packetsSent }
+func (n *Network) PacketsSent() int64 {
+	var t int64
+	for i := range n.bc {
+		t += n.bc[i].packetsSent
+	}
+	return t
+}
 
 // Retries returns how many endpoint deliveries were back-pressured.
-func (n *Network) Retries() int64 { return n.retries }
+func (n *Network) Retries() int64 {
+	var t int64
+	for i := range n.bc {
+		t += n.bc[i].retries
+	}
+	return t
+}
 
 // CrossTrafficStats returns injected cross-traffic packet and byte counts.
 func (n *Network) CrossTrafficStats() (packets, bytes int64) {
-	return n.xPackets, n.xBytes
+	for i := range n.bc {
+		packets += n.bc[i].xPackets
+		bytes += n.bc[i].xBytes
+	}
+	return packets, bytes
 }
 
 // BisectionCrossings returns bytes that crossed the mesh's X bisection,
 // split into application and cross-traffic bytes.
 func (n *Network) BisectionCrossings() (app, cross int64) {
-	return n.appBisectionBytes, n.xBisectionBytes
+	for i := range n.bc {
+		app += n.bc[i].appBisectionBytes
+		cross += n.bc[i].xBisectionBytes
+	}
+	return app, cross
 }
 
 // CrossTraffic describes the paper's bisection-emulation workload: I/O
@@ -577,6 +704,11 @@ type CrossTraffic struct {
 func (n *Network) StartCrossTraffic(ct CrossTraffic, clk sim.Clock) {
 	if n.cfg.Torus {
 		panic("mesh: cross-traffic bisection emulation requires a mesh (the paper's topology)")
+	}
+	if len(n.engs) > 1 {
+		// Generators share one stop flag and tick on a single engine;
+		// the machine layer gates cross-traffic runs to the serial path.
+		panic("mesh: cross-traffic generators require the serial engine")
 	}
 	if ct.BytesPerCycle <= 0 || ct.MsgBytes <= 0 {
 		return
@@ -611,9 +743,9 @@ func (n *Network) scheduleXGen(src, dst, size int, period, offset sim.Time) {
 			Src: src, Dst: dst, Class: ClassXTraffic,
 			HdrBytes: 8, PayloadBytes: size - 8,
 		})
-		n.eng.After(period, tick)
+		n.engs[0].After(period, tick)
 	}
-	n.eng.After(offset, tick)
+	n.engs[0].After(offset, tick)
 }
 
 // StopCrossTraffic halts all cross-traffic generators after their next

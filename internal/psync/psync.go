@@ -91,7 +91,7 @@ func minInt(a, c int) int {
 
 // Wait blocks p until all processors have arrived.
 func (b *SMBarrier) Wait(p *machine.Proc) {
-	b.m.ExtraEv.BarrierArrivals++
+	p.Ev.BarrierArrivals++
 	traceEvent(b.m, p, trace.KBarrier, 0, 0)
 	// Sense value for this episode, read before arriving. This must be a
 	// real load, not a backdoor peek: under release consistency the
@@ -154,7 +154,7 @@ func NewSMCentralBarrier(m *machine.Machine) *SMCentralBarrier {
 
 // Wait blocks p until all processors have arrived.
 func (b *SMCentralBarrier) Wait(p *machine.Proc) {
-	b.m.ExtraEv.BarrierArrivals++
+	p.Ev.BarrierArrivals++
 	myGen := p.ReadSync(b.gen) // forwarding load; see SMBarrier.Wait
 
 	last := p.RMWSync(b.counter, func(v float64) float64 { return v + 1 })
@@ -220,7 +220,7 @@ func (b *MsgBarrier) children(id int) []int {
 
 // Wait blocks p until all processors have arrived.
 func (b *MsgBarrier) Wait(p *machine.Proc) {
-	b.m.ExtraEv.BarrierArrivals++
+	p.Ev.BarrierArrivals++
 	id := p.ID
 	need := len(b.children(id))
 	for b.arrived[id] < need {
@@ -280,11 +280,11 @@ func (l *SpinLock) Acquire(p *machine.Proc) {
 			return v
 		})
 		if got {
-			l.m.ExtraEv.LockAcquires++
+			p.Ev.LockAcquires++
 			traceEvent(l.m, p, trace.KLock, int64(l.addr), 1)
 			return
 		}
-		l.m.ExtraEv.LockSpins++
+		p.Ev.LockSpins++
 		p.SpinCycles(backoff)
 		if backoff < 320 {
 			backoff *= 2

@@ -1,0 +1,515 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// Group runs several engines — tiles of one simulation — in parallel
+// under conservative time windows. Each window, the group finds the
+// globally soonest pending event time minNext and lets every tile
+// execute its own queue concurrently up to the barrier
+//
+//	end = minNext + lookahead
+//
+// which is safe when every causal chain between tiles takes at least
+// lookahead of simulated time: an event inside the window (at >=
+// minNext) can then only affect another tile at or after end. Events
+// that target another tile are posted through per-(src,dst) mailboxes
+// (see Engine.CrossAt) and merged at the barrier in deterministic
+// (at, seq, src) order, so the simulation's result is a pure function
+// of the model — identical for every worker count, including one.
+//
+// The group owns scheduling policy only; model state stays inside the
+// tiles. Within a window each engine runs single-threaded exactly as in
+// serial mode, so per-tile state needs no locking; anything shared
+// across tiles must be reached through CrossAt (which is what makes the
+// lookahead bound hold in the first place).
+type Group struct {
+	lookahead Time
+	engines   []*Engine
+	// mail[src][dst] buffers cross-tile events posted during the current
+	// window. Each box is written only by src's worker goroutine and
+	// drained only by the coordinator at the barrier.
+	mail [][]mailbox
+
+	workers  int
+	limit    uint64
+	deadline Time
+	windows  uint64
+
+	// Barrier machinery. Windows are typically a few microseconds of
+	// work, so a channel handoff per window would cost more than the
+	// window itself; instead the coordinator (which doubles as worker 0)
+	// publishes each window by bumping epoch, and workers report back by
+	// decrementing remaining. Waiters adaptively spin, then yield, then
+	// park on their wake channel (see await). The atomics carry the
+	// happens-before edges: winEnd/stop are written before the epoch
+	// store and read after the epoch load; everything a tile did in
+	// window k is published by its worker's remaining decrement and
+	// observed by the coordinator's read of zero before it opens k+1.
+	epoch     atomic.Uint64
+	remaining atomic.Int64
+	winEnd    Time
+	stop      bool
+	running   bool
+	parked    []atomic.Bool   // parked[i]: waiter i blocked on wake[i]
+	wake      []chan struct{} // buffered(1) wake tokens; [workers] is the coordinator's
+	wpanics   [][]tilePanic   // per-worker panic slots, single-writer
+	merged    []mergedEvent   // barrier-merge scratch, reused across windows
+}
+
+// mailbox is one directed cross-tile event buffer. seq persists across
+// windows so (at, seq) totally orders everything a given source ever
+// sent to a given destination.
+type mailbox struct {
+	seq uint64
+	evs []crossEvent
+}
+
+type crossEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// mergedEvent is a mailbox event tagged with its source tile for the
+// deterministic (at, seq, src) barrier sort.
+type mergedEvent struct {
+	at  Time
+	seq uint64
+	src int
+	fn  func()
+}
+
+// tilePanic records a panic raised while running one tile's window.
+type tilePanic struct {
+	tile int
+	val  interface{}
+}
+
+// NewGroup creates a group of tiles fresh engines with the given
+// lookahead (the minimum simulated time any cross-tile interaction
+// takes). The lookahead must be positive — a zero bound admits no
+// window at all.
+func NewGroup(tiles int, lookahead Time) *Group {
+	if tiles < 1 {
+		panic(fmt.Sprintf("sim: group needs at least one tile, got %d", tiles))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: group lookahead must be positive, got %v", lookahead))
+	}
+	g := &Group{
+		lookahead: lookahead,
+		engines:   make([]*Engine, tiles),
+		mail:      make([][]mailbox, tiles),
+		workers:   1,
+	}
+	for i := range g.engines {
+		e := NewEngine()
+		e.grp, e.tile = g, i
+		g.engines[i] = e
+		g.mail[i] = make([]mailbox, tiles)
+	}
+	return g
+}
+
+// Engine returns tile i's engine.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// Tiles returns the number of tiles.
+func (g *Group) Tiles() int { return len(g.engines) }
+
+// Lookahead returns the conservative window length.
+func (g *Group) Lookahead() Time { return g.lookahead }
+
+// Windows reports how many conservative windows Run has executed.
+func (g *Group) Windows() uint64 { return g.windows }
+
+// Workers reports how many goroutines execute tiles each window.
+func (g *Group) Workers() int { return g.workers }
+
+// SetWorkers sets how many goroutines execute tiles each window,
+// clamped to [1, Tiles]. Worker w owns tiles w, w+workers, ... — a
+// static assignment, but one that only affects wall-clock behavior:
+// results are identical for every worker count.
+func (g *Group) SetWorkers(n int) {
+	if g.running {
+		panic("sim: SetWorkers after Run started")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.engines) {
+		n = len(g.engines)
+	}
+	g.workers = n
+}
+
+// SetEventLimit aborts Run once the group has dispatched n events in
+// total, and also arms each tile with the full budget so a runaway
+// self-feeding loop inside a single window still trips deterministically
+// (the window barrier alone would never be reached).
+func (g *Group) SetEventLimit(n uint64) {
+	g.limit = n
+	for _, e := range g.engines {
+		e.limit = n
+	}
+}
+
+// SetDeadline arms the no-forward-progress watchdog, checked at each
+// window head: if the globally soonest event would fire after t while
+// spawned threads are unfinished, Run panics with a *StallError.
+func (g *Group) SetDeadline(t Time) { g.deadline = t }
+
+// SetSpanObserver installs fn on every tile. Under more than one worker
+// the observer runs concurrently from worker goroutines, so it must be
+// internally synchronized; the machine layer instead gates span capture
+// to the serial engine.
+func (g *Group) SetSpanObserver(fn func(th *Thread, start, end Time, blocked bool, reason string, arg int64)) {
+	for _, e := range g.engines {
+		e.spanObs = fn
+	}
+}
+
+// Now returns the group's simulated time: every tile advances to each
+// window's end, so all engines agree once Run returns.
+func (g *Group) Now() Time {
+	var t Time
+	for _, e := range g.engines {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Dispatched reports the total events executed across all tiles.
+func (g *Group) Dispatched() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.dispatched
+	}
+	return n
+}
+
+// post buffers a cross-tile event (from Engine.CrossAt, on src's worker
+// goroutine during a window).
+func (g *Group) post(src, dst int, t Time, fn func()) {
+	m := &g.mail[src][dst]
+	m.seq++
+	m.evs = append(m.evs, crossEvent{at: t, seq: m.seq, fn: fn})
+}
+
+// minNext returns the soonest pending event time across all tiles.
+func (g *Group) minNext() (Time, bool) {
+	var mn Time
+	found := false
+	for _, e := range g.engines {
+		if len(e.events) == 0 {
+			continue
+		}
+		if t := e.events[0].at; !found || t < mn {
+			mn, found = t, true
+		}
+	}
+	return mn, found
+}
+
+// Barrier waiter tuning: a waiter polls spinBudget times (peers usually
+// finish within the window's few microseconds), yields the OS thread
+// yieldBudget times (covers oversubscribed hosts, where spinning only
+// steals cycles from the goroutine being waited for), then parks on its
+// wake channel (idle group, or a heavily instrumented build where every
+// poll is expensive).
+const (
+	spinBudget  = 1 << 10
+	yieldBudget = 8
+)
+
+// await polls cond until it holds, escalating spin -> yield -> park.
+// Waiter i parks by publishing parked[i] and re-checking cond before
+// blocking on wake[i]; wakers bring it back with unpark(i) after making
+// cond true. Spurious tokens are harmless — the loop re-checks cond.
+func (g *Group) await(i int, cond func() bool) {
+	for spin := 0; ; spin++ {
+		if cond() {
+			return
+		}
+		switch {
+		case spin < spinBudget:
+		case spin < spinBudget+yieldBudget:
+			runtime.Gosched()
+		default:
+			g.parked[i].Store(true)
+			if cond() {
+				// The waker may have missed the flag; it is cleared (by us
+				// or by a waker that also sent a token) and any stale token
+				// is consumed by the next park, which re-checks cond.
+				g.parked[i].Store(false)
+				return
+			}
+			<-g.wake[i]
+			spin = 0
+		}
+	}
+}
+
+// unpark wakes waiter i if it is parked (or about to park; the token is
+// buffered so the handoff never blocks the waker).
+func (g *Group) unpark(i int) {
+	if g.parked[i].Swap(false) {
+		g.wake[i] <- struct{}{}
+	}
+}
+
+// Run executes windows until every tile's queue (and every mailbox) is
+// empty, returning the final simulated time. Panics raised inside a
+// tile — including per-tile event-limit stalls — are re-raised on the
+// caller's goroutine; when several tiles panic in one window the lowest
+// tile index wins, which is the same one that panics at one worker.
+func (g *Group) Run() Time {
+	if g.running {
+		panic("sim: Group.Run is one-shot")
+	}
+	g.running = true
+	g.wpanics = make([][]tilePanic, g.workers)
+	if g.workers > 1 {
+		g.parked = make([]atomic.Bool, g.workers+1)
+		g.wake = make([]chan struct{}, g.workers+1)
+		for i := range g.wake {
+			g.wake[i] = make(chan struct{}, 1)
+		}
+		for w := 1; w < g.workers; w++ {
+			go g.runWorker(w)
+		}
+		defer func() {
+			// Release the workers even when a tile panic unwinds this
+			// frame; they are never mid-window here (the coordinator waits
+			// out the barrier before acting on anything), so they exit
+			// promptly.
+			g.stop = true
+			g.epoch.Add(1)
+			for w := 1; w < g.workers; w++ {
+				g.unpark(w)
+			}
+		}()
+	}
+	for {
+		minNext, ok := g.minNext()
+		if !ok {
+			break
+		}
+		if g.pastDeadline(minNext) {
+			panic(g.Diagnose(StallDeadline))
+		}
+		end := minNext + g.lookahead
+		g.windows++
+		var panics []tilePanic
+		if g.workers == 1 {
+			// Single worker: no goroutines, no atomics — the coordinator
+			// runs every tile inline. This is the byte-identical baseline
+			// the parallel schedule is compared against, and the shape
+			// auto-sharding picks on a single-core host.
+			panics = g.runTiles(0, end, g.wpanics[0][:0])
+			g.wpanics[0] = panics
+		} else {
+			g.winEnd = end
+			g.remaining.Store(int64(g.workers - 1))
+			g.epoch.Add(1) // open the window: publishes winEnd to the workers
+			for w := 1; w < g.workers; w++ {
+				g.unpark(w)
+			}
+			g.wpanics[0] = g.runTiles(0, end, g.wpanics[0][:0])
+			g.await(g.workers, func() bool { return g.remaining.Load() == 0 })
+			for _, ps := range g.wpanics {
+				panics = append(panics, ps...)
+			}
+		}
+		if len(panics) > 0 {
+			sort.Slice(panics, func(i, j int) bool { return panics[i].tile < panics[j].tile })
+			if se, ok := panics[0].val.(*StallError); ok {
+				// Re-diagnose at group level so the dump blames blocked
+				// threads on every tile, not just the one that tripped.
+				panic(g.Diagnose(se.Kind))
+			}
+			panic(panics[0].val)
+		}
+		g.mergeMail()
+		if g.limit != 0 && g.Dispatched() > g.limit {
+			panic(g.Diagnose(StallEventLimit))
+		}
+	}
+	return g.Now()
+}
+
+// runTiles executes one worker's tile share for the window ending at
+// end, appending any tile panic to ps (reused across windows).
+func (g *Group) runTiles(w int, end Time, ps []tilePanic) []tilePanic {
+	for t := w; t < len(g.engines); t += g.workers {
+		e := g.engines[t]
+		if len(e.events) == 0 || e.events[0].at >= end {
+			// Idle tile: nothing fires this window, so skip the
+			// panic-capture call frame and just advance its clock.
+			e.winEnd, e.now = end, end
+			continue
+		}
+		if v := runTileWindow(e, end); v != nil {
+			ps = append(ps, tilePanic{tile: t, val: v})
+			// Skip this worker's remaining tiles: any earlier tile in its
+			// sequence that would have panicked already did, so the
+			// minimum panicking tile is still reported deterministically.
+			break
+		}
+	}
+	return ps
+}
+
+// runWorker is the body of workers 1..workers-1: wait for the
+// coordinator to open a window, run this worker's tile share, report
+// back; the final remaining decrement wakes a parked coordinator.
+func (g *Group) runWorker(w int) {
+	last := uint64(0)
+	for {
+		g.await(w, func() bool { return g.epoch.Load() != last })
+		last = g.epoch.Load()
+		if g.stop {
+			return
+		}
+		g.wpanics[w] = g.runTiles(w, g.winEnd, g.wpanics[w][:0])
+		if g.remaining.Add(-1) == 0 {
+			g.unpark(g.workers)
+		}
+	}
+}
+
+// runTileWindow runs one tile's window, converting a panic into a value
+// so the coordinator can pick the deterministic one to re-raise.
+func runTileWindow(e *Engine, end Time) (pv interface{}) {
+	defer func() { pv = recover() }()
+	e.winEnd = end
+	e.runWindow(end)
+	return nil
+}
+
+// mergeMail drains every mailbox into its destination tile. Per
+// destination, events from all sources are ordered by (at, seq, src) —
+// a total order independent of worker scheduling — and pushed through
+// the destination's normal At path, which restamps them with local
+// sequence numbers in that same order.
+func (g *Group) mergeMail() {
+	for dst := range g.engines {
+		buf := g.merged[:0]
+		for src := range g.engines {
+			m := &g.mail[src][dst]
+			if len(m.evs) == 0 {
+				continue
+			}
+			for _, ev := range m.evs {
+				buf = append(buf, mergedEvent{at: ev.at, seq: ev.seq, src: src, fn: ev.fn})
+			}
+			for i := range m.evs {
+				m.evs[i] = crossEvent{} // release the closures
+			}
+			m.evs = m.evs[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sortMerged(buf)
+		e := g.engines[dst]
+		for i := range buf {
+			e.At(buf[i].at, buf[i].fn)
+		}
+		g.merged = buf[:0]
+	}
+}
+
+// sortMerged orders one destination's merged events by (at, seq, src).
+// Windows carry a handful of cross events at most, so an insertion sort
+// beats sort.Slice's reflection setup on the per-window fast path; the
+// sort.Slice fallback keeps a pathological burst O(n log n).
+func sortMerged(buf []mergedEvent) {
+	if len(buf) < 2 {
+		return
+	}
+	less := func(a, b *mergedEvent) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.src < b.src
+	}
+	if len(buf) <= 32 {
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && less(&buf[j], &buf[j-1]); j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+}
+
+// pastDeadline reports whether the soonest pending event violates the
+// armed deadline while threads are unfinished.
+func (g *Group) pastDeadline(minNext Time) bool {
+	if g.deadline <= 0 || minNext <= g.deadline {
+		return false
+	}
+	for _, e := range g.engines {
+		for _, th := range e.threads {
+			if th.state != ThreadDone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Diagnose captures group-wide liveness state as a StallError: queue
+// depths and dispatch counts summed over tiles, blocked threads merged
+// in tile order (tiles are contiguous node bands, so the dump lists
+// processors in ascending order, same as the serial engine's).
+func (g *Group) Diagnose(kind StallKind) *StallError {
+	d := &StallError{Kind: kind}
+	var times []Time
+	for _, e := range g.engines {
+		if e.now > d.Now {
+			d.Now = e.now
+		}
+		d.Dispatched += e.dispatched
+		d.Pending += len(e.events)
+		for i := range e.events {
+			times = append(times, e.events[i].at)
+		}
+		d.Blocked = append(d.Blocked, e.blockedDump(kind)...)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if len(times) > maxDiagEvents {
+		times = times[:maxDiagEvents]
+	}
+	d.NextEvents = times
+	return d
+}
+
+// CheckLiveness returns a deadlock diagnostic if every queue drained
+// while paused threads remain with no wake scheduled, or nil if the
+// group is live. Call it after Run returns.
+func (g *Group) CheckLiveness() *StallError {
+	if _, ok := g.minNext(); ok {
+		return nil
+	}
+	for _, e := range g.engines {
+		for _, th := range e.threads {
+			if th.state == ThreadPaused && !th.wakePending {
+				return g.Diagnose(StallDeadlock)
+			}
+		}
+	}
+	return nil
+}

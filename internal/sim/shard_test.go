@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// execRecord is one dispatched event as observed by its tile: per-tile
+// slices are single-writer (each tile's window runs on one goroutine),
+// so recording is race-free at any worker count.
+type execRecord struct {
+	At  Time
+	Tag string
+}
+
+// shardScenario drives a deterministic pseudo-random storm of local and
+// cross-tile events through a fresh group and returns the per-tile
+// execution logs. The event pattern depends only on (tiles, lookahead,
+// seed) — never on workers — so logs must deep-equal across worker
+// counts.
+func shardScenario(tiles, workers int, lookahead Time, seed uint64) ([][]execRecord, *Group) {
+	g := NewGroup(tiles, lookahead)
+	g.SetWorkers(workers)
+	logs := make([][]execRecord, tiles)
+	// Every pseudo-random choice is a pure hash of (seed, id, depth): the
+	// scenario must not depend on execution interleave, and a shared RNG
+	// stream would both race across workers and consume in varying order.
+	choose := func(id, depth int, n uint64) uint64 {
+		h := seed ^ uint64(id)*0x9e3779b97f4a7c15 ^ uint64(depth)*0xbf58476d1ce4e5b9
+		h ^= h >> 31
+		h *= 0x94d049bb133111eb
+		h ^= h >> 29
+		return h % n
+	}
+	// Each chain hops tile-to-tile: wait a hashed local delay, then
+	// forward to a hashed tile at exactly now+lookahead (the tightest
+	// legal cross time, exercising the barrier boundary).
+	var hop func(tile, depth int, id int)
+	hop = func(tile, depth, id int) {
+		e := g.Engine(tile)
+		logs[tile] = append(logs[tile], execRecord{At: e.Now(), Tag: fmt.Sprintf("chain%d.%d@%d", id, depth, tile)})
+		if depth == 0 {
+			return
+		}
+		local := Time(choose(id, depth, uint64(lookahead)))
+		e.After(local, func() {
+			dst := int(choose(id, depth+100, uint64(tiles)))
+			at := e.Now() + lookahead
+			e.CrossAt(g.Engine(dst), at, func() { hop(dst, depth-1, id) })
+		})
+	}
+	for id := 0; id < 4*tiles; id++ {
+		tile := id % tiles
+		start := Time(choose(id, 0, 64))
+		id := id
+		g.Engine(tile).At(start, func() { hop(tile, 6, id) })
+	}
+	g.Run()
+	return logs, g
+}
+
+// TestGroupDeterministicAcrossWorkers is the engine-level half of the
+// byte-identical guarantee: the same scenario at 1, 2, and 4 workers
+// produces identical per-tile execution logs, final time, dispatch
+// count, and window count.
+func TestGroupDeterministicAcrossWorkers(t *testing.T) {
+	const tiles = 4
+	for _, seed := range []uint64{1, 7, 42} {
+		ref, refG := shardScenario(tiles, 1, 100, seed)
+		for _, workers := range []int{2, 4} {
+			got, g := shardScenario(tiles, workers, 100, seed)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d: execution logs differ between 1 and %d workers", seed, workers)
+			}
+			if g.Now() != refG.Now() || g.Dispatched() != refG.Dispatched() || g.Windows() != refG.Windows() {
+				t.Fatalf("seed %d: now/dispatched/windows differ between 1 and %d workers: (%v,%d,%d) vs (%v,%d,%d)",
+					seed, workers, g.Now(), g.Dispatched(), g.Windows(), refG.Now(), refG.Dispatched(), refG.Windows())
+			}
+		}
+	}
+}
+
+// TestGroupMergeOrderProperty checks the mailbox-merge ordering contract
+// directly: everything a destination tile executes is in nondecreasing
+// time, and cross-tile events that tie on time execute in (sender seq,
+// source tile) order — including ties created exactly at a window
+// barrier by different source tiles.
+func TestGroupMergeOrderProperty(t *testing.T) {
+	const tiles = 3
+	g := NewGroup(tiles, 50)
+	g.SetWorkers(1)
+	var got []string
+	// Window 1: every tile posts two events to tile 0 at the identical
+	// barrier-tie time. Deterministic order must be (at, sender seq, src)
+	// — seq compares before source tile, so the senders' first posts
+	// precede all second posts — regardless of posting interleave.
+	for src := 1; src < tiles; src++ {
+		src := src
+		e := g.Engine(src)
+		e.At(10, func() {
+			at := e.Now() + 50
+			for _, tag := range []string{"a", "b"} {
+				tag := tag
+				e.CrossAt(g.Engine(0), at, func() {
+					got = append(got, fmt.Sprintf("src%d.%s@%v", src, tag, g.Engine(0).Now()))
+				})
+			}
+		})
+	}
+	// Tile 0 keeps its own queue busy so merged events interleave with
+	// local ones; local events at the tie time were scheduled earlier and
+	// must still run before the merged ones (lower seq).
+	e0 := g.Engine(0)
+	for _, at := range []Time{10, 60, 70} {
+		at := at
+		e0.At(at, func() { got = append(got, fmt.Sprintf("local@%v", at)) })
+	}
+	g.Run()
+	want := []string{"local@10ps", "local@60ps", "src1.a@60ps", "src2.a@60ps", "src1.b@60ps", "src2.b@60ps", "local@70ps"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order = %v, want %v", got, want)
+	}
+}
+
+// TestCrossAtInsideWindowPanics pins the lookahead-violation guard: a
+// cross-tile event targeted inside the current window is a causality
+// break and must fail loudly.
+func TestCrossAtInsideWindowPanics(t *testing.T) {
+	g := NewGroup(2, 100)
+	e := g.Engine(0)
+	e.At(0, func() {
+		e.CrossAt(g.Engine(1), e.Now()+1, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-tile event inside the window did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead") {
+			t.Fatalf("panic %v does not name the lookahead violation", r)
+		}
+	}()
+	g.Run()
+}
+
+// TestCrossAtLocalIsPlainAt checks the degenerate cases: same-engine and
+// ungrouped CrossAt behave exactly like At.
+func TestCrossAtLocalIsPlainAt(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.CrossAt(e, 5, func() { ran++ })
+	dst := NewEngine()
+	e.CrossAt(dst, 7, func() { ran++ })
+	e.Run()
+	dst.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d of 2 degenerate CrossAt events", ran)
+	}
+}
+
+// TestGroupDiagnoseMergesTiles checks watchdog fan-in: blocked threads on
+// every tile appear in one StallError, in tile order.
+func TestGroupDiagnoseMergesTiles(t *testing.T) {
+	g := NewGroup(3, 10)
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Engine(i).Spawn(fmt.Sprintf("proc%d", i), 0, func(th *Thread) {
+			th.SetWaitReason("await-message", int64(i))
+			th.Pause()
+		})
+	}
+	g.Run()
+	se := g.CheckLiveness()
+	if se == nil {
+		t.Fatal("group with three parked threads reported live")
+	}
+	if se.Kind != StallDeadlock {
+		t.Fatalf("kind = %v, want deadlock", se.Kind)
+	}
+	if len(se.Blocked) != 3 {
+		t.Fatalf("blamed %d threads, want 3: %+v", len(se.Blocked), se.Blocked)
+	}
+	for i, b := range se.Blocked {
+		if want := fmt.Sprintf("proc%d", i); b.Name != want {
+			t.Fatalf("blocked[%d] = %q, want %q (tile-order merge)", i, b.Name, want)
+		}
+		if !strings.Contains(b.Reason, "await-message") {
+			t.Fatalf("blocked[%d] reason %q lost the wait reason", i, b.Reason)
+		}
+	}
+}
+
+// TestGroupEventLimitInsideWindow checks that a runaway self-feeding tile
+// trips the event limit inside a window (the barrier alone would never
+// be reached) and surfaces as a group-level diagnostic.
+func TestGroupEventLimitInsideWindow(t *testing.T) {
+	g := NewGroup(2, 10)
+	g.SetEventLimit(1000)
+	e := g.Engine(1)
+	var loop func()
+	loop = func() { e.After(0, loop) }
+	e.At(0, loop)
+	defer func() {
+		se, ok := recover().(*StallError)
+		if !ok {
+			t.Fatal("runaway tile did not panic with a StallError")
+		}
+		if se.Kind != StallEventLimit {
+			t.Fatalf("kind = %v, want event-limit", se.Kind)
+		}
+	}()
+	g.Run()
+}

@@ -90,6 +90,15 @@ func (e *Engine) Diagnose(kind StallKind) *StallError {
 		times = times[:maxDiagEvents]
 	}
 	d.NextEvents = times
+	d.Blocked = e.blockedDump(kind)
+	return d
+}
+
+// blockedDump renders the engine's paused threads for a diagnostic of
+// the given kind. Shared between the single-engine Diagnose and the
+// Group fan-in, so sharded dumps blame threads identically.
+func (e *Engine) blockedDump(kind StallKind) []BlockedThread {
+	var out []BlockedThread
 	for _, th := range e.threads {
 		if th.state != ThreadPaused {
 			continue
@@ -107,13 +116,13 @@ func (e *Engine) Diagnose(kind StallKind) *StallError {
 			}
 			reason += "wake scheduled"
 		}
-		d.Blocked = append(d.Blocked, BlockedThread{
+		out = append(out, BlockedThread{
 			Name:   th.name,
 			Reason: reason,
 			Since:  th.blockedSince,
 		})
 	}
-	return d
+	return out
 }
 
 // CheckLiveness returns a deadlock diagnostic if the event queue is empty
