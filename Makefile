@@ -26,12 +26,15 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 
-# Short fixed-budget fuzz of the coherence protocol: random op programs
-# against the directory/cache invariant checker. Deterministic seeds run
-# in `make test`; this explores beyond them.
+# Short fixed-budget fuzzing: random op programs against the coherence
+# protocol's directory/cache invariant checker, and random strings
+# against the fault/noise spec grammar (Parse must never panic, and
+# accepted specs must round-trip through their canonical form).
+# Deterministic seeds run in `make test`; this explores beyond them.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzProtocolOps -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME)
 
 # Host-side profiling of a figure regeneration: where the simulator
 # itself spends CPU and heap. Inspect with `go tool pprof /tmp/paperbench.cpu`.

@@ -5,6 +5,7 @@
 //	paperbench -fig 4              # Figure 4 runtime breakdowns
 //	paperbench -fig 8 -app em3d    # Figure 8 bisection sweep for EM3D
 //	paperbench -fig S1 -scale tiny # node-scaling experiment, 32-512 nodes
+//	paperbench -fig S2 -app em3d   # noise-sensitivity + delay-propagation experiment
 //	paperbench -all -scale sweep   # everything, at sweep scale
 //	paperbench -list               # catalog of every artifact
 package main

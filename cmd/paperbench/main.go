@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 
-	fig := flag.String("fig", "", "figure to regenerate (1-10, or S1 for the node-scaling experiment; 6 is the topology diagram)")
+	fig := flag.String("fig", "", "figure to regenerate (1-10, S1 for the node-scaling experiment, or S2 for the noise-sensitivity experiment; 6 is the topology diagram)")
 	table := flag.Int("table", 0, "table number to regenerate (1 or 2)")
 	all := flag.Bool("all", false, "regenerate every paper figure and table (S1 runs machines up to 512 nodes and must be requested explicitly)")
 	list := flag.Bool("list", false, "list every artifact paperbench can produce, then exit")
@@ -38,10 +38,13 @@ func main() {
 		strconv.Itoa(machine.AutoShardWorkers)+" workers at "+strconv.Itoa(machine.AutoShardNodes)+"+ nodes), "+
 		"-1 = force the serial engine, N = force the tiled engine with N workers; "+
 		"configs the tiled engine cannot run (metrics/trace/span capture, cross-traffic, "+
-		"ideal network, jitter faults) fall back to serial")
+		"ideal network, jitter faults, stochastic noise) fall back to serial")
 	faults := flag.String("faults", "", "deterministic fault injection spec, e.g. "+
 		"'jitter:max=200ns,prob=0.1;outage:node=*,start=10us,dur=2us,every=50us' (robustness studies)")
 	seed := flag.Uint64("seed", 1, "fault schedule seed (used with -faults)")
+	noise := flag.String("noise", figures.DefaultNoiseSpec, "stochastic noise spec for the Figure S2 "+
+		"runtime-distribution panel (hostnoise/netnoise clauses; see internal/fault)")
+	noiseSeeds := flag.Int("noiseseeds", 8, "number of noise seeds (1..N) for the Figure S2 runtime distribution")
 	timelineDir := flag.String("timeline", "", "write a Perfetto trace-event JSON timeline and a metrics "+
 		"snapshot per executed run into this directory (enables metrics collection; byte-identical across reruns)")
 	spanCap := flag.Int("spancap", 4096, "thread-state spans retained per run for -timeline (ring buffer capacity)")
@@ -54,9 +57,25 @@ func main() {
 	flag.Parse()
 
 	if *faults != "" {
-		if _, err := fault.Parse(*faults); err != nil {
+		fc, err := fault.Parse(*faults)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if fc.NoiseEnabled() {
+			log.Fatal("-faults carries hostnoise/netnoise/delay clauses; those belong in -noise (which has its own seeds)")
+		}
+	}
+	if *noise != "" {
+		nc, err := fault.Parse(*noise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nc.FaultsEnabled() {
+			log.Fatal("-noise carries jitter/outage/stall clauses; those belong in -faults")
+		}
+	}
+	if *noiseSeeds < 1 {
+		log.Fatal("-noiseseeds must be at least 1")
 	}
 
 	cfg := machine.DefaultConfig()
@@ -219,6 +238,7 @@ func main() {
 
 	want := func(n int) bool { return *all || *fig == strconv.Itoa(n) }
 	wantS1 := strings.EqualFold(*fig, "S1") // deliberately outside -all: runs machines up to 512 nodes
+	wantS2 := strings.EqualFold(*fig, "S2") // deliberately outside -all: every point is a fresh seed, nothing memoizes across specs
 	sep := func() {
 		fmt.Fprintln(out, "\n----------------------------------------------------------------")
 	}
@@ -338,6 +358,20 @@ func main() {
 			app := app
 			writeCSV(fmt.Sprintf("figS1_%s.csv", app), func(w *os.File) error {
 				return figures.WriteScalingCSV(w, apps.Mechanisms, fixed, scaled)
+			})
+			fmt.Fprintln(out)
+		}
+		sep()
+	}
+	if wantS2 {
+		ranSomething = true
+		seeds := figures.DefaultNoiseSeeds(*noiseSeeds)
+		for _, app := range appsToRun {
+			dists, props, err := figures.FigS2(out, app, scOr(core.ScaleSweep), cfg, *noise, seeds, 0)
+			check(err)
+			app := app
+			writeCSV(fmt.Sprintf("figS2_%s.csv", app), func(w *os.File) error {
+				return figures.WriteNoiseCSV(w, dists, props)
 			})
 			fmt.Fprintln(out)
 		}

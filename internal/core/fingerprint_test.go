@@ -9,14 +9,17 @@ import (
 )
 
 // fingerprintBase is a baseline RunConfig whose normalization knobs are
-// all active (nonzero cross-traffic, nonempty fault spec), so fingerprint
-// collapses nothing and every field perturbation must change the key.
+// all active (nonzero cross-traffic, nonempty fault and noise specs), so
+// fingerprint collapses nothing and every field perturbation must change
+// the key.
 func fingerprintBase() RunConfig {
 	rc := RunConfig{App: EM3D, Scale: ScaleTiny}
 	rc.Machine.ClockMHz = 20
 	rc.Machine.CrossTraffic = mesh.CrossTraffic{MsgBytes: 64, BytesPerCycle: 8}
 	rc.Machine.FaultSpec = "jitter:p=0.1"
 	rc.Machine.FaultSeed = 7
+	rc.Machine.NoiseSpec = "hostnoise:node=*,dist=exp,mean=1us"
+	rc.Machine.NoiseSeed = 11
 	return rc
 }
 
@@ -72,6 +75,29 @@ func TestFingerprintShards(t *testing.T) {
 	rc.Machine.Shards = -1
 	if fingerprint(rc) != serial {
 		t.Fatal("forced-serial and auto-serial runs key separately")
+	}
+}
+
+// TestFingerprintNoise pins the noise normalization: the seed is inert —
+// normalized away — without a noise spec, and meaningful with one, so
+// distinct noisy runs never alias while incidentally-seeded quiet runs
+// always do.
+func TestFingerprintNoise(t *testing.T) {
+	rc := RunConfig{App: EM3D, Scale: ScaleTiny}
+	rc.Machine = machine.DefaultConfig()
+	quiet := fingerprint(rc)
+	rc.Machine.NoiseSeed = 99
+	if fingerprint(rc) != quiet {
+		t.Fatal("noise seed without a noise spec changes the key; inert configs would simulate repeatedly")
+	}
+	rc.Machine.NoiseSpec = "netnoise:node=*,dist=uniform,mean=200ns"
+	noisy1 := fingerprint(rc)
+	if noisy1 == quiet {
+		t.Fatal("noise spec does not change the key; noisy runs would alias quiet ones")
+	}
+	rc.Machine.NoiseSeed = 100
+	if fingerprint(rc) == noisy1 {
+		t.Fatal("noise seeds alias one memo entry; a seed sweep would measure one run")
 	}
 }
 

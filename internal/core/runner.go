@@ -123,6 +123,10 @@ func fingerprint(rc RunConfig) RunConfig {
 		// The fault seed is inert without a fault spec.
 		rc.Machine.FaultSeed = 0
 	}
+	if rc.Machine.NoiseSpec == "" {
+		// Likewise, the noise seed is inert without a noise spec.
+		rc.Machine.NoiseSeed = 0
+	}
 	if rc.Machine.Nodes() == BaseProcs {
 		// Weak and strong scaling coincide at the paper's machine size
 		// (the problem-growth factor is 1), so the flag is inert.

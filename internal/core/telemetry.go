@@ -52,20 +52,27 @@ type Telemetry struct {
 
 // RunRecord is one sweep run's log entry, serialized as a JSON line.
 type RunRecord struct {
-	Fingerprint string   `json:"fingerprint"`          // canonical RunConfig hash
-	App         string   `json:"app"`                  // application name
-	Mech        string   `json:"mech"`                 // communication mechanism
-	Scale       string   `json:"scale"`                // workload scale
-	Memo        string   `json:"memo"`                 // "hit" or "miss"
-	WallMS      float64  `json:"wall_ms"`              // host time spent (≈0 for hits)
-	SimCycles   int64    `json:"sim_cycles,omitempty"` // completion time, processor cycles
-	FaultSpec   string   `json:"fault_spec,omitempty"` // canonical fault injection spec
-	Shards      int      `json:"shards,omitempty"`     // configured tiled-engine workers (0 = serial; auto runs may be clamped to GOMAXPROCS)
-	Tiles       int      `json:"tiles,omitempty"`      // tiled-engine tile count (0 = serial engine)
-	Windows     uint64   `json:"windows,omitempty"`    // conservative windows executed (0 = serial engine)
-	Outcome     string   `json:"outcome"`              // "ok", "stall", or "crash"
-	Error       string   `json:"error,omitempty"`      // failure detail
-	HotLinks    []string `json:"hot_links,omitempty"`  // top-3 mesh links by bytes
+	Fingerprint string  `json:"fingerprint"`          // canonical RunConfig hash
+	App         string  `json:"app"`                  // application name
+	Mech        string  `json:"mech"`                 // communication mechanism
+	Scale       string  `json:"scale"`                // workload scale
+	Memo        string  `json:"memo"`                 // "hit" or "miss"
+	WallMS      float64 `json:"wall_ms"`              // host time spent (≈0 for hits)
+	SimCycles   int64   `json:"sim_cycles,omitempty"` // completion time, processor cycles
+	FaultSpec   string  `json:"fault_spec,omitempty"` // canonical fault injection spec
+	NoiseSpec   string  `json:"noise_spec,omitempty"` // canonical stochastic noise spec
+	NoiseSeed   uint64  `json:"noise_seed,omitempty"` // noise stream seed (meaningful with noise_spec)
+
+	// Per-run noise accounting (omitted when no noise was injected).
+	NoiseSamples    int64 `json:"noise_samples,omitempty"`     // stochastic draws that injected time
+	NoiseInjectedPs int64 `json:"noise_injected_ps,omitempty"` // total simulated time injected, ps
+
+	Shards   int      `json:"shards,omitempty"`    // configured tiled-engine workers (0 = serial; auto runs may be clamped to GOMAXPROCS)
+	Tiles    int      `json:"tiles,omitempty"`     // tiled-engine tile count (0 = serial engine)
+	Windows  uint64   `json:"windows,omitempty"`   // conservative windows executed (0 = serial engine)
+	Outcome  string   `json:"outcome"`             // "ok", "stall", or "crash"
+	Error    string   `json:"error,omitempty"`     // failure detail
+	HotLinks []string `json:"hot_links,omitempty"` // top-3 mesh links by bytes
 }
 
 // FingerprintLabel returns a stable 16-hex-digit hash of rc's canonical
@@ -98,8 +105,12 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 		Memo:        "miss",
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		FaultSpec:   rc.Machine.FaultSpec,
+		NoiseSpec:   rc.Machine.NoiseSpec,
 		Shards:      rc.Machine.EffectiveShards(),
 		Outcome:     "ok",
+	}
+	if rc.Machine.NoiseSpec != "" {
+		rec.NoiseSeed = rc.Machine.NoiseSeed
 	}
 	if memo {
 		rec.Memo = "hit"
@@ -109,6 +120,8 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 		rec.SimCycles = res.Cycles
 		rec.Tiles = res.Tiles
 		rec.Windows = res.Windows
+		rec.NoiseSamples = res.Noise.Samples()
+		rec.NoiseInjectedPs = res.Noise.InjectedPs()
 		for _, l := range res.Links {
 			rec.HotLinks = append(rec.HotLinks,
 				fmt.Sprintf("%s(%d<->%d) bytes=%d util=%.3f", l.Link, l.A, l.B, l.Bytes, l.Utilization))

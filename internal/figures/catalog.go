@@ -30,6 +30,7 @@ func Catalog() []CatalogEntry {
 		{"-fig 9", "runtime vs network clock (latency+bandwidth scaling)"},
 		{"-fig 10", "runtime vs one-way network latency"},
 		{"-fig S1", "mechanism scaling with machine size, 32-512 nodes (beyond the paper)"},
+		{"-fig S2", "mechanism sensitivity to stochastic noise and single-delay propagation (beyond the paper)"},
 		{"-table 1", "machine configurations (printed by cmd/machines)"},
 		{"-table 2", "relative machine parameters (printed by cmd/machines -relative)"},
 		{"-model", "analytical model vs simulator comparison, plus LogP parameters"},

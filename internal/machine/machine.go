@@ -66,10 +66,20 @@ type Config struct {
 	// FaultSpec, if nonempty, enables deterministic fault injection (see
 	// fault.Parse for the grammar). Kept as the canonical spec string —
 	// not a parsed struct — so Config stays comparable for the sweep
-	// runner's memoization cache.
+	// runner's memoization cache. Only discrete-fault clauses (jitter,
+	// outage, stall) are allowed here; noise clauses go in NoiseSpec.
 	FaultSpec string
 	// FaultSeed seeds the fault schedule; meaningful only with FaultSpec.
 	FaultSeed uint64
+
+	// NoiseSpec, if nonempty, enables seeded stochastic noise injection:
+	// hostnoise, netnoise, and delay clauses (see fault.Parse). Kept
+	// separate from FaultSpec so noise seeds sweep independently of fault
+	// schedules; like FaultSpec it is the canonical spec string so Config
+	// stays comparable.
+	NoiseSpec string
+	// NoiseSeed seeds the noise streams; meaningful only with NoiseSpec.
+	NoiseSeed uint64
 
 	// Shards selects the intra-run engine: 0 (the default) chooses
 	// automatically — the serial event loop below AutoShardNodes, the
@@ -139,10 +149,11 @@ func (c Config) TileCount() int {
 
 // tilingOK reports whether this config can run on the tiled engine. The
 // observability paths (metrics, tracing, span capture), cross-traffic
-// generators, the ideal-network emulation, and jittered faults all assume
-// one serial event loop; such configs keep the serial engine rather than
-// grow locks. Outage and stall-window faults are fine: their injector is
-// read-only per packet with atomic counters.
+// generators, the ideal-network emulation, and stochastic injection
+// (jittered faults and every noise clause) all assume one serial event
+// loop; such configs keep the serial engine rather than grow locks.
+// Outage and stall-window faults are fine: their injector is read-only
+// per packet with atomic counters.
 func (c Config) tilingOK() bool {
 	if c.TileCount() < 2 || c.HopLatency <= 0 {
 		return false
@@ -153,9 +164,14 @@ func (c Config) tilingOK() bool {
 	if c.CrossTraffic.BytesPerCycle > 0 || c.IdealNetOneWayCycles > 0 {
 		return false
 	}
+	if c.NoiseSpec != "" {
+		// Noise draws from seeded streams in event order — an ordering
+		// only the serial loop provides — and one-shot delays latch state.
+		return false
+	}
 	if c.FaultSpec != "" {
 		fc, err := fault.Parse(c.FaultSpec)
-		if err != nil || fc.Jitter.Max > 0 {
+		if err != nil || fc.Stochastic() {
 			// Jitter draws from one RNG stream in global packet-send order,
 			// an ordering only the serial loop provides.
 			return false
@@ -263,6 +279,11 @@ type Machine struct {
 
 	// Faults is the live fault injector; nil unless Cfg.FaultSpec is set.
 	Faults *fault.Injector
+
+	// Noise is the live stochastic-noise injector; nil unless
+	// Cfg.NoiseSpec is set. Separate from Faults so the two spec strings
+	// keep independent seeds and RNG streams.
+	Noise *fault.Injector
 
 	ran    bool
 	doneN  int
@@ -378,10 +399,26 @@ func New(cfg Config) *Machine {
 		if err != nil {
 			panic(fmt.Sprintf("machine: bad fault spec: %v", err))
 		}
+		if fc.NoiseEnabled() {
+			panic(fmt.Sprintf("machine: noise clauses in FaultSpec %q; put hostnoise/netnoise/delay in NoiseSpec", cfg.FaultSpec))
+		}
 		if fc.Enabled() {
 			m.Faults = fault.NewInjector(fc, cfg.FaultSeed)
 			net.SetFaultInjector(m.Faults)
 			asys.SetFaultInjector(m.Faults)
+		}
+	}
+	if cfg.NoiseSpec != "" {
+		nc, err := fault.Parse(cfg.NoiseSpec)
+		if err != nil {
+			panic(fmt.Sprintf("machine: bad noise spec: %v", err))
+		}
+		if nc.FaultsEnabled() {
+			panic(fmt.Sprintf("machine: fault clauses in NoiseSpec %q; put jitter/outage/stall in FaultSpec", cfg.NoiseSpec))
+		}
+		if nc.Enabled() {
+			m.Noise = fault.NewInjector(nc, cfg.NoiseSeed)
+			net.SetNoiseInjector(m.Noise)
 		}
 	}
 	return m
@@ -408,6 +445,16 @@ type Result struct {
 	// settings). Zero means the serial engine ran.
 	Tiles   int
 	Windows uint64
+
+	// DoneCycles records when each processor's body returned, in cycles.
+	// The per-node completion profile is what the delay-propagation
+	// experiment reads: an injected delay on one node shifts completions
+	// outward by hop distance (or not) depending on the mechanism.
+	DoneCycles []int64
+
+	// Noise counts stochastic noise actually injected; the zero value when
+	// the config carries no NoiseSpec.
+	Noise fault.Stats
 }
 
 // Run executes body on every processor concurrently (SPMD) and returns
@@ -479,10 +526,15 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		Events:  m.Mem.Events().Plus(m.AM.Events()).Plus(m.ExtraEv),
 		PerProc: make([]stats.Breakdown, n),
 	}
+	res.DoneCycles = make([]int64, n)
 	for i, p := range m.Procs {
 		res.PerProc[i] = p.BD
 		res.Breakdown = res.Breakdown.Plus(p.BD)
 		res.Events = res.Events.Plus(p.Ev)
+		res.DoneCycles[i] = m.Clk.ToCycles(p.doneAt)
+	}
+	if m.Noise != nil {
+		res.Noise = m.Noise.Stats()
 	}
 	if m.Grp != nil {
 		res.Tiles = m.Grp.Tiles()
@@ -549,6 +601,15 @@ func (m *Machine) enrich(se *sim.StallError) *sim.StallError {
 	}
 	for _, s := range m.AM.QueueDump(maxDumpNotes) {
 		se.Notes = append(se.Notes, "am: "+s)
+	}
+	if m.Noise != nil {
+		// Distinguish a noise-induced stall from a protocol deadlock: a
+		// huge injected total means the watchdog likely tripped on noise.
+		st := m.Noise.Stats()
+		se.Notes = append(se.Notes, fmt.Sprintf(
+			"noise: %d samples, %d ps injected (host %d samples/%d ps, net %d samples/%d ps, delays %d/%d ps)",
+			st.Samples(), st.InjectedPs(), st.HostNoiseSamples, st.HostNoisePs,
+			st.NetNoiseSamples, st.NetNoisePs, st.DelaysFired, st.DelayPs))
 	}
 	return se
 }

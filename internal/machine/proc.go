@@ -70,6 +70,15 @@ func (p *Proc) Compute(cycles int64) {
 	if cycles < 0 {
 		panic(fmt.Sprintf("machine: negative compute %d", cycles))
 	}
+	if p.M.Noise != nil {
+		// Host noise dilates the compute phase at its boundary; one-shot
+		// injected delays also fire here (the processor is the target, so
+		// its compute path is where the stall lands).
+		if d := p.M.Noise.ComputeDilation(p.ID, p.th.Now()); d > 0 {
+			p.BD.Add(stats.BucketCompute, d)
+			p.th.Sleep(d)
+		}
+	}
 	chunk := p.M.Cfg.InterruptCheckCycles
 	for cycles > 0 {
 		if p.mode == RecvInterrupt {

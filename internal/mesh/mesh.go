@@ -156,6 +156,10 @@ type Network struct {
 	// (deterministic fault injection; see internal/fault).
 	fault FaultInjector
 
+	// noise, when non-nil, adds seeded stochastic per-packet delivery
+	// delay (network noise; see internal/fault).
+	noise NoiseInjector
+
 	// Per-link instruments, allocated by SetMetrics; nil when metrics
 	// are disabled (one nil check on the reservation path). Indexed like
 	// busyUntil.
@@ -194,6 +198,21 @@ type FaultInjector interface {
 // With no injector attached the timing paths are byte-identical to a
 // fault-free build.
 func (n *Network) SetFaultInjector(fi FaultInjector) { n.fault = fi }
+
+// NoiseInjector adds stochastic per-packet delay. It is implemented by
+// *fault.Injector; a separate interface from FaultInjector because noise
+// carries its own seed and spec (machine.Config.NoiseSpec).
+type NoiseInjector interface {
+	// PacketDelay returns the extra delivery delay for the next packet
+	// from src to dst. Called exactly once per packet, in delivery order
+	// (serial engine only).
+	PacketDelay(src, dst int) sim.Time
+}
+
+// SetNoiseInjector attaches a noise injector (nil disables injection).
+// With no injector attached the timing paths are byte-identical to a
+// noise-free build.
+func (n *Network) SetNoiseInjector(ni NoiseInjector) { n.noise = ni }
 
 // Directions for link indexing.
 const (
@@ -509,6 +528,9 @@ func (n *Network) finish(band int, wk *walk) {
 	tail := wk.head + n.cfg.HopLatency + wk.size
 	if n.fault != nil {
 		tail += n.fault.PacketJitter()
+	}
+	if n.noise != nil {
+		tail += n.noise.PacketDelay(p.Src, p.Dst)
 	}
 	if db := n.bandOf(p.Dst); db != band {
 		// A walk whose last link ends on the first row of another band

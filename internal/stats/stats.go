@@ -2,6 +2,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -209,3 +211,48 @@ func (e Events) Plus(o Events) Events {
 
 // RemoteMisses returns the total remote miss count.
 func (e Events) RemoteMisses() int64 { return e.RemoteMissesCln + e.RemoteMissesDty }
+
+// Summary describes a sample distribution (e.g. runtimes across noise
+// seeds). Percentiles use the nearest-rank method, so every reported
+// quantile is an actual sample — robust for the small sample counts a
+// seed sweep produces.
+type Summary struct {
+	N    int     // sample count
+	Mean float64 // arithmetic mean
+	P50  int64   // median (nearest rank)
+	P99  int64   // 99th percentile (nearest rank)
+	Min  int64
+	Max  int64
+}
+
+// Summarize computes a Summary of xs (the input is not modified). A
+// nil/empty input yields the zero Summary.
+func Summarize(xs []int64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum float64
+	for _, x := range s {
+		sum += float64(x)
+	}
+	rank := func(p float64) int64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Summary{
+		N:    len(s),
+		Mean: sum / float64(len(s)),
+		P50:  rank(0.50),
+		P99:  rank(0.99),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+	}
+}

@@ -112,6 +112,31 @@ func TestTimeBucketStrings(t *testing.T) {
 	}
 }
 
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("Summarize(nil).N = %d, want 0", s.N)
+	}
+	if s := Summarize([]int64{42}); s.N != 1 || s.Mean != 42 || s.P50 != 42 || s.P99 != 42 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// 1..100 shuffled: nearest-rank percentiles are exact and the input
+	// order must not matter (Summarize sorts a copy).
+	xs := make([]int64, 100)
+	for i := range xs {
+		xs[i] = int64((i*37)%100 + 1)
+	}
+	orig := append([]int64(nil), xs...)
+	s := Summarize(xs)
+	if s.N != 100 || s.Mean != 50.5 || s.P50 != 50 || s.P99 != 99 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("1..100 summary = %+v, want N=100 mean=50.5 p50=50 p99=99 min=1 max=100", s)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Summarize mutated its input")
+		}
+	}
+}
+
 func TestEventsPlusAllFields(t *testing.T) {
 	// Fill every field of one operand with a distinct value and verify
 	// Plus preserves all of them (guards against forgotten fields).
