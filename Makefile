@@ -13,10 +13,16 @@ check: build race test lint
 build:
 	$(GO) build ./...
 
-# Determinism and simulation-safety analysis (internal/lint): wallclock,
-# unseededrand, maporder, rawconc, fingerprint. See DESIGN.md §10.
+# Determinism and simulation-safety analysis (internal/lint), nine
+# checks: the per-package wallclock, unseededrand, maporder, rawconc,
+# and fingerprint, plus the call-graph-aware callpath, shardsafe,
+# serialonly, and intmath. Zero diagnostics — including stale
+# //lint:allow comments — is the bar. See DESIGN.md §10.
+# The second invocation self-lints the analyzer and its CLI explicitly
+# (the pattern set must be import-closed, which these two trees are).
 lint:
 	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint ./internal/lint ./cmd/simlint
 
 test:
 	$(GO) test ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ func main() {
 	tests := flag.Bool("tests", false, "also lint _test.go files")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list the checks and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n")
 		flag.PrintDefaults()
@@ -27,7 +29,7 @@ func main() {
 	}
 	if *list {
 		for _, c := range selected {
-			fmt.Printf("simlint/%-12s %s\n", c.Name, c.Doc)
+			fmt.Printf("simlint/%-12s [%s] %s\n", c.Name, c.Scope, c.Doc)
 		}
 		return
 	}
@@ -44,13 +46,39 @@ func main() {
 	}
 	diags := lint.Run(pkgs, selected)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	for i := range diags {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
 			}
 		}
-		fmt.Println(d)
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags)) // [] not null when clean
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				Check: d.Check, File: d.Pos.Filename,
+				Line: d.Pos.Line, Column: d.Pos.Column,
+				Message: d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d problem(s)\n", len(diags))

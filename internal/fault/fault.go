@@ -494,9 +494,11 @@ func ParseDuration(s string) (sim.Time, error) {
 	for _, u := range units {
 		if v, ok := strings.CutSuffix(s, u.suffix); ok {
 			f, err := strconv.ParseFloat(v, 64)
+			//lint:allow simlint/intmath spec-parse-time overflow bound; result is latched as integer Time
 			if err != nil || f < 0 || f >= float64(math.MaxInt64)/float64(u.scale) {
 				return 0, fmt.Errorf("bad duration %q", s)
 			}
+			//lint:allow simlint/intmath spec-parse-time unit conversion; result is latched as integer Time
 			return sim.Time(f * float64(u.scale)), nil
 		}
 	}
@@ -638,6 +640,7 @@ func gate(rng *uint64, prob float64) bool {
 	if prob >= 1 {
 		return true
 	}
+	//lint:allow simlint/intmath 53-bit mantissa divided by a power of two is exact; the compare is bit-identical on every IEEE-754 host
 	return float64(next(rng)>>11)/(1<<53) < prob
 }
 
@@ -779,6 +782,7 @@ func (in *Injector) PacketJitter() sim.Time {
 		return 0
 	}
 	r := in.next()
+	//lint:allow simlint/intmath 53-bit mantissa divided by a power of two is exact; the compare is bit-identical on every IEEE-754 host
 	if j.Prob < 1 && float64(r>>11)/(1<<53) >= j.Prob {
 		return 0
 	}

@@ -26,9 +26,10 @@ import (
 // package that owns the runner (internal/core) the function's absence
 // is itself an error.
 var FingerprintCheck = &Check{
-	Name: "fingerprint",
-	Doc:  "verify the canonical RunConfig fingerprint covers every field and that all fields have value semantics",
-	Run:  runFingerprint,
+	Name:  "fingerprint",
+	Doc:   "verify the canonical RunConfig fingerprint covers every field and that all fields have value semantics",
+	Scope: "internal/driver (RunConfig and its fingerprint)",
+	Run:   runFingerprint,
 }
 
 func runFingerprint(p *Pass) {

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IntMathCheck forbids floating-point arithmetic in the simulation's
+// machine-model packages. Every quantity that influences event order —
+// cycles, bytes, seeds, noise draws — is integer by convention (PR 7's
+// samplers draw uniform/exp/heavytail jitter in fixed point precisely so
+// two hosts produce bit-identical schedules); a stray float division in
+// a latency computation reintroduces platform- and optimization-level
+// dependence. Reporting-only float math (MHz labels, utilization
+// percentages) is fenced with //lint:allow simlint/intmath and a reason.
+//
+// Constant-folded expressions (untyped or typed constants) are exempt:
+// the compiler evaluates them identically everywhere.
+var IntMathCheck = &Check{
+	Name:  "intmath",
+	Doc:   "forbid floating-point arithmetic in machine-model packages; cycle math must be integer or fixed-point",
+	Scope: "machine-model packages (sim, machine, mesh, mem, am, fault)",
+	Applies: func(pkgPath string) bool {
+		return inScope(pkgPath, intScopes)
+	},
+	Run: runIntMath,
+}
+
+// intScopes are the packages whose arithmetic feeds event times and
+// results. The app/workload layer and obs are excluded: apps compute on
+// simulated data (moldyn's forces are float by nature), and obs only
+// aggregates; neither feeds the event clock.
+var intScopes = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/mesh",
+	"internal/mem",
+	"internal/am",
+	"internal/fault",
+}
+
+func runIntMath(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+				default:
+					return true
+				}
+				tv, ok := p.Info.Types[ast.Expr(n)]
+				if !ok || tv.Value != nil { // constant-folded: identical everywhere
+					return true
+				}
+				if isFloat(tv.Type) {
+					p.Reportf(n.OpPos, "floating-point %s on %s; cycle math must be integer or fixed-point (see internal/fault's samplers)", n.Op, tv.Type)
+				}
+			case *ast.AssignStmt:
+				var op token.Token
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					op = n.Tok
+				default:
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if tv, ok := p.Info.Types[lhs]; ok && isFloat(tv.Type) {
+						p.Reportf(n.TokPos, "floating-point %s on %s; cycle math must be integer or fixed-point (see internal/fault's samplers)", op, tv.Type)
+					}
+				}
+			case *ast.IncDecStmt:
+				if tv, ok := p.Info.Types[n.X]; ok && isFloat(tv.Type) {
+					p.Reportf(n.TokPos, "floating-point %s on %s; cycle math must be integer or fixed-point (see internal/fault's samplers)", n.Tok, tv.Type)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -20,14 +20,24 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: simlint/%s: %s", d.Pos, d.Check, d.Message)
 }
 
-// Check is one analyzer of the suite.
+// Check is one analyzer of the suite: either a per-package syntactic
+// check (Run set) or a module-wide interprocedural check over the shared
+// call graph (RunModule set).
 type Check struct {
 	Name string
 	Doc  string
-	// Applies reports whether the check runs on the package with the
-	// given import path; nil means every package.
+	// Scope names where the check looks, for -list ("sim packages",
+	// "app packages", "module-wide", ...).
+	Scope string
+	// Applies reports whether the check concerns the package with the
+	// given import path; nil means every package. Per-package checks run
+	// only on applying packages; module checks use it to decide where
+	// their //lint:allow suppressions are meaningful.
 	Applies func(pkgPath string) bool
 	Run     func(*Pass)
+	// RunModule runs once over the whole loaded package set with the
+	// shared call graph.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (check, package) analysis run.
@@ -51,6 +61,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one module-wide analysis run: every loaded package
+// plus the shared call graph.
+type ModulePass struct {
+	Check *Check
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Check.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Checks returns the full suite in stable order.
 func Checks() []*Check {
 	return []*Check{
@@ -59,6 +89,10 @@ func Checks() []*Check {
 		MapOrderCheck,
 		RawConcCheck,
 		FingerprintCheck,
+		CallPathCheck,
+		ShardSafeCheck,
+		SerialOnlyCheck,
+		IntMathCheck,
 	}
 }
 
@@ -77,7 +111,11 @@ func Select(names string) ([]*Check, error) {
 		n = strings.TrimPrefix(strings.TrimSpace(n), "simlint/")
 		c, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown check %q", n)
+			valid := make([]string, len(all))
+			for i, c := range all {
+				valid[i] = c.Name
+			}
+			return nil, fmt.Errorf("lint: unknown check %q (valid: %s)", n, strings.Join(valid, ", "))
 		}
 		out = append(out, c)
 	}
@@ -126,12 +164,55 @@ func inScope(pkgPath string, scopes []string) bool {
 }
 
 // Run executes the checks over the packages and returns the surviving
-// diagnostics (suppressions applied), sorted by position.
+// diagnostics (suppressions applied, stale suppressions reported),
+// sorted by position. Per-package checks run first; module-wide checks
+// share one call graph, built lazily only when such a check is selected.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
-	var out []Diagnostic
+	var raw []Diagnostic
+	sup := collectModuleSuppressions(pkgs, &raw)
 	for _, pkg := range pkgs {
-		out = append(out, runPackage(pkg, checks)...)
+		for _, c := range checks {
+			if c.Run == nil {
+				continue
+			}
+			if c.Applies != nil && !c.Applies(pkg.Path) {
+				continue
+			}
+			c.Run(&Pass{
+				Check:   c,
+				Fset:    pkg.Fset,
+				PkgPath: pkg.Path,
+				Pkg:     pkg.Pkg,
+				Info:    pkg.Info,
+				Files:   pkg.Files,
+				diags:   &raw,
+			})
+		}
 	}
+	var graph *CallGraph
+	for _, c := range checks {
+		if c.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		fset := graph.Fset
+		if fset == nil && len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		c.RunModule(&ModulePass{Check: c, Fset: fset, Pkgs: pkgs, Graph: graph, diags: &raw})
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if sup.allows(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	// A suppression that suppressed nothing is itself a finding: stale
+	// allows hide the day the hazard comes back.
+	sup.auditStale(checks, &out)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -155,34 +236,4 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		dedup = append(dedup, d)
 	}
 	return dedup
-}
-
-// runPackage runs every applicable check on one package and filters the
-// raw findings through the package's //lint:allow suppressions.
-func runPackage(pkg *Package, checks []*Check) []Diagnostic {
-	var raw []Diagnostic
-	sup := collectSuppressions(pkg.Fset, pkg.Files, &raw)
-	for _, c := range checks {
-		if c.Applies != nil && !c.Applies(pkg.Path) {
-			continue
-		}
-		pass := &Pass{
-			Check:   c,
-			Fset:    pkg.Fset,
-			PkgPath: pkg.Path,
-			Pkg:     pkg.Pkg,
-			Info:    pkg.Info,
-			Files:   pkg.Files,
-			diags:   &raw,
-		}
-		c.Run(pass)
-	}
-	var out []Diagnostic
-	for _, d := range raw {
-		if sup.allows(d) {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
 }

@@ -3,8 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,6 +53,17 @@ func TestFixtures(t *testing.T) {
 		{name: "fingerprint-reference-fields", dir: "fingerprint_reference", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
 		{name: "fingerprint-absent", dir: "fingerprint_absent", pkgPath: "repro/internal/core", checks: []*Check{FingerprintCheck}},
 		{name: "fingerprint-absent-elsewhere", dir: "fingerprint_absent", pkgPath: "repro/internal/model", checks: []*Check{FingerprintCheck}, ignoreWants: true},
+		{name: "intmath", dir: "intmath", pkgPath: "repro/internal/sim/fixture", checks: []*Check{IntMathCheck}},
+		// Float math is fine outside the machine model: apps compute on
+		// simulated data and figures post-process results.
+		{name: "intmath-out-of-scope", dir: "intmath", pkgPath: "repro/internal/figures/fixture", checks: []*Check{IntMathCheck}, ignoreWants: true},
+		{name: "serialonly-good", dir: "serialonly_good", pkgPath: "repro/internal/machine/fixture", checks: []*Check{SerialOnlyCheck}},
+		{name: "serialonly-bad", dir: "serialonly_bad", pkgPath: "repro/internal/machine/fixture", checks: []*Check{SerialOnlyCheck}},
+		{name: "serialonly-no-manifest", dir: "serialonly_nomanifest", pkgPath: "repro/internal/machine/fixture", checks: []*Check{SerialOnlyCheck}},
+		{name: "serialonly-no-gate", dir: "serialonly_nogate", pkgPath: "repro/internal/machine/fixture", checks: []*Check{SerialOnlyCheck}},
+		// A Config outside internal/machine is someone else's business.
+		{name: "serialonly-out-of-scope", dir: "serialonly_bad", pkgPath: "repro/internal/core/fixture", checks: []*Check{SerialOnlyCheck}, ignoreWants: true},
+		{name: "shardsafe", dir: "shardsafe", pkgPath: "repro/internal/mem/fixture", checks: []*Check{ShardSafeCheck}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -131,6 +144,190 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestCallPathFixture runs the interprocedural callpath check over a
+// four-package fixture module: a host helper package (clock, global
+// rand, goroutine spawn), a sim-engine package whose concurrency is
+// sanctioned, a machine-like sim package, and an application package.
+// Cross-package boundary blame, direct-call deferral to the syntactic
+// checks, and the engine barrier are all only observable with more than
+// one package, which is why this does not fit the TestFixtures harness.
+func TestCallPathFixture(t *testing.T) {
+	specs := []struct{ dir, path string }{
+		{dir: "callpath_host", path: "repro/internal/hostfix"},
+		{dir: "callpath_engine", path: "repro/internal/sim/fixture"},
+		{dir: "callpath_sim", path: "repro/internal/machine/fixture"},
+		{dir: "callpath_app", path: "repro/internal/apps/fixture"},
+	}
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		source:  importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*types.Package{},
+	}
+	var pkgs []*Package
+	wants := make(map[string][]string)
+	for _, s := range specs {
+		dir := filepath.Join("testdata", "src", s.dir)
+		files, w := parseFixture(t, fset, dir, false)
+		for k, v := range w {
+			wants[k] = v
+		}
+		pkg := &Package{Path: s.path, Fset: fset, Files: files}
+		if err := typeCheck(fset, pkg, imp); err != nil {
+			t.Fatalf("type-checking %s: %v", s.path, err)
+		}
+		imp.checked[s.path] = pkg.Pkg
+		pkgs = append(pkgs, pkg)
+	}
+	diags := Run(pkgs, []*Check{CallPathCheck})
+	got := make(map[string][]string)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	for key, names := range got {
+		sort.Strings(names)
+		if want := wants[key]; !equalStrings(names, want) {
+			t.Errorf("%s: got %v, want %v", key, names, want)
+		}
+	}
+	for key, names := range wants {
+		if _, ok := got[key]; !ok {
+			t.Errorf("%s: missing expected diagnostics %v", key, names)
+		}
+	}
+	// The report must carry the full chain to the forbidden function.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "machfix.Stamp -> hostfix.NowMillis -> time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic carries the Stamp -> NowMillis -> time.Now chain:\n%v", diags)
+	}
+}
+
+// TestSerialOnlyGuardDeletion is the check's reason to exist, exercised
+// against the real module: delete the SpanCap/TraceCap/Metrics guard
+// from machine.Config.tilingOK and serialonly must fail. Loading the
+// whole module from source is slow, so the test is skipped under -short.
+func TestSerialOnlyGuardDeletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module from source")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []*Check{SerialOnlyCheck}); len(diags) != 0 {
+		t.Fatalf("real tree is not clean under serialonly before mutation:\n%v", diags)
+	}
+
+	// Find tilingOK and cut the guard statement that consults SpanCap.
+	var body *ast.BlockStmt
+	for _, pkg := range pkgs {
+		if pkg.Path != "repro/internal/machine" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "tilingOK" {
+					body = fd.Body
+				}
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("no tilingOK declaration found in repro/internal/machine")
+	}
+	mentions := func(st ast.Stmt, field string) bool {
+		hit := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == field {
+				hit = true
+			}
+			return true
+		})
+		return hit
+	}
+	orig := body.List
+	defer func() { body.List = orig }()
+	kept := make([]ast.Stmt, 0, len(orig))
+	cut := false
+	for _, st := range orig {
+		if !cut && mentions(st, "SpanCap") {
+			cut = true
+			continue
+		}
+		kept = append(kept, st)
+	}
+	if !cut {
+		t.Fatal("tilingOK has no statement consulting SpanCap; the fixture assumption broke")
+	}
+	body.List = kept
+
+	diags := Run(pkgs, []*Check{SerialOnlyCheck})
+	if len(diags) == 0 {
+		t.Fatal("deleting the SpanCap guard from tilingOK produced no serialonly diagnostic")
+	}
+	var hit bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "SpanCap") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no diagnostic names the unguarded SpanCap field:\n%v", diags)
+	}
+}
+
+// TestStaleAllow checks the audit half of suppression handling: a
+// well-formed allow that suppresses nothing is itself a diagnostic.
+func TestStaleAllow(t *testing.T) {
+	const src = `package fixture
+
+func fine(a, b int) int {
+	//lint:allow simlint/maporder nothing on this line ever fired
+	return a + b
+}
+
+func covered(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//lint:allow simlint/maporder order does not matter here
+		out = append(out, k)
+	}
+	return out
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckPackage(fset, "repro/internal/figures/fixture", []*ast.File{f}, []*Check{MapOrderCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Check != "allow" ||
+		!strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Fatalf("want exactly one stale-allow diagnostic, got:\n%v", diags)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("stale allow reported at line %d, want 4", diags[0].Pos.Line)
+	}
+
+	// The same stale allow is NOT reported when its check is deselected:
+	// a -checks run says nothing about the others.
+	none, err := CheckPackage(fset, "repro/internal/figures/fixture", []*ast.File{f}, []*Check{WallclockCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("stale maporder allow reported under -checks wallclock:\n%v", none)
+	}
 }
 
 // TestSuppressionValidation checks that malformed //lint:allow comments

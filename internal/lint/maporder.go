@@ -28,9 +28,10 @@ import (
 // Order-insensitive bodies — integer counters, disjoint per-key writes —
 // are not flagged.
 var MapOrderCheck = &Check{
-	Name: "maporder",
-	Doc:  "flag order-sensitive work (appends, float accumulation, event scheduling, output) inside map iteration",
-	Run:  runMapOrder,
+	Name:  "maporder",
+	Doc:   "flag order-sensitive work (appends, float accumulation, event scheduling, output) inside map iteration",
+	Scope: "every package",
+	Run:   runMapOrder,
 }
 
 // scheduleNames are method names that schedule simulator events or
@@ -190,7 +191,7 @@ func findHazards(p *Pass, body *ast.BlockStmt, safe map[*ast.RangeStmt]bool) []h
 		case *ast.AssignStmt:
 			switch n.Tok {
 			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
-				if isFloat(p, n.Lhs[0]) {
+				if tv, ok := p.Info.Types[n.Lhs[0]]; ok && isFloat(tv.Type) {
 					add(n.Pos(), "accumulates floating-point values")
 				}
 			}
@@ -219,16 +220,6 @@ func findHazards(p *Pass, body *ast.BlockStmt, safe map[*ast.RangeStmt]bool) []h
 		return true
 	})
 	return out
-}
-
-// isFloat reports whether expr has floating-point type.
-func isFloat(p *Pass, expr ast.Expr) bool {
-	tv, ok := p.Info.Types[expr]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	b, ok := tv.Type.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsFloat != 0
 }
 
 // firstIdent returns expr as *ast.Ident, or nil.

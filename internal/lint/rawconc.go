@@ -15,8 +15,9 @@ import (
 // never leak into simulated results. A raw goroutine in an app would
 // race the deterministic engine and break run-to-run reproducibility.
 var RawConcCheck = &Check{
-	Name: "rawconc",
-	Doc:  "forbid go statements, channels, select, and sync primitives in simulated-application code (use sim.Thread/psync)",
+	Name:  "rawconc",
+	Doc:   "forbid go statements, channels, select, and sync primitives in simulated-application code (use sim.Thread/psync)",
+	Scope: "app packages (direct use; callpath covers transitive ones)",
 	Applies: func(pkgPath string) bool {
 		return inScope(pkgPath, appScopes)
 	},

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// SerialOnlyCheck is the tilingOK-completeness check. The tiled engine
+// is only used when machine.Config.tilingOK() says every configured
+// feature survives sharding; history (ROADMAP items 1 and 3) shows each
+// new Config field tends to arrive with a "forces serial for now"
+// caveat. The failure mode this check removes: a field is added, nobody
+// teaches tilingOK about it, and a tiled run silently diverges from the
+// serial reference.
+//
+// Every Config field must therefore be classified exactly one way:
+//
+//   - consulted — read somewhere in the call graph reachable from
+//     Config.tilingOK or Config.Tiled, so the tiling decision provably
+//     sees it; or
+//   - declared tiling-safe — listed, with a reason, in the package's
+//     `tilingSafe` map[string]string manifest.
+//
+// The classification is exclusive: a consulted field listed in the
+// manifest is reported as redundant. That keeps the manifest honest —
+// deleting a guard from tilingOK immediately leaves its field
+// unclassified (or stale-manifested) and the check fails.
+var SerialOnlyCheck = &Check{
+	Name:  "serialonly",
+	Doc:   "every machine.Config field must be consulted by tilingOK/Tiled or declared tiling-safe in the tilingSafe manifest",
+	Scope: "internal/machine (Config vs the tiled-engine gate)",
+	Applies: func(pkgPath string) bool {
+		return inScope(pkgPath, []string{"internal/machine"})
+	},
+	RunModule: runSerialOnly,
+}
+
+func runSerialOnly(p *ModulePass) {
+	for _, pkg := range p.Pkgs {
+		if !inScope(pkg.Path, []string{"internal/machine"}) {
+			continue
+		}
+		checkConfigPackage(p, pkg)
+	}
+}
+
+// checkConfigPackage analyzes one package holding a Config type with a
+// tilingOK method (the real internal/machine, or a fixture mirroring
+// its shape). Packages without such a type are skipped silently.
+func checkConfigPackage(p *ModulePass, pkg *Package) {
+	cfg := lookupConfig(pkg)
+	if cfg == nil {
+		return
+	}
+	named := cfg.named
+	st, _ := named.Underlying().(*types.Struct)
+	if st == nil {
+		return
+	}
+
+	// Forward reachability from the gate methods: everything they call
+	// (TileCount, Nodes, fault.Parse, ...) counts as "the tiling
+	// decision sees it".
+	var roots []*CGNode
+	for _, n := range p.Graph.Nodes() {
+		if n.Obj == nil || n.Pkg == nil {
+			continue
+		}
+		if (n.Obj.Name() == "tilingOK" || n.Obj.Name() == "Tiled") && recvNamed(n.Obj) == named.Obj() {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		p.Reportf(cfg.pos, "Config has no tilingOK method; the tiled engine cannot be gated on this configuration")
+		return
+	}
+	reachable := p.Graph.ReachableFrom(roots)
+
+	// Field objects of Config, in declaration order.
+	fieldOf := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldOf[st.Field(i)] = true
+	}
+
+	// Collect consulted fields: selector reads of Config fields inside
+	// reachable function bodies (literal bodies are covered by their
+	// enclosing declaration's walk).
+	consulted := make(map[string]bool)
+	for _, n := range p.Graph.Nodes() {
+		if !reachable[n] || n.Decl == nil || n.Decl.Body == nil || n.Pkg == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			if v, ok := s.Obj().(*types.Var); ok && fieldOf[v] {
+				consulted[v.Name()] = true
+			}
+			return true
+		})
+	}
+
+	manifest, manifestFound := lookupTilingSafe(p, pkg)
+	if !manifestFound {
+		p.Reportf(cfg.pos, "package %s has no tilingSafe manifest (var tilingSafe = map[string]string{...}); fields not consulted by tilingOK must be declared tiling-safe with a reason", pkg.Pkg.Name())
+	}
+
+	// Classify every field exactly once.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		entry, inManifest := manifest[f.Name()]
+		switch {
+		case consulted[f.Name()] && inManifest:
+			p.Reportf(entry.pos, "tilingSafe entry %q is redundant: tilingOK/Tiled already consult the field; a manifest entry would mask a deleted guard", f.Name())
+		case !consulted[f.Name()] && !inManifest && manifestFound:
+			p.Reportf(f.Pos(), "Config.%s is neither consulted by tilingOK/Tiled nor declared in tilingSafe; a tiled run could silently ignore it — add a guard or a manifest entry with a reason", f.Name())
+		}
+	}
+	names := make([]string, 0, len(manifest))
+	for name := range manifest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !fieldExists(st, name) {
+			p.Reportf(manifest[name].pos, "tilingSafe entry %q names no Config field", name)
+		}
+	}
+}
+
+// configType is a located Config declaration.
+type configType struct {
+	named *types.Named
+	pos   token.Pos
+}
+
+// lookupConfig finds the package's named struct type "Config".
+func lookupConfig(pkg *Package) *configType {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if obj == nil {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok {
+					if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+						return &configType{named: named, pos: ts.Name.Pos()}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the receiver's named type object, or nil.
+func recvNamed(obj *types.Func) *types.TypeName {
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	if named := namedRecv(sig.Recv().Type()); named != nil {
+		return named.Obj()
+	}
+	return nil
+}
+
+// manifestEntry is one parsed tilingSafe map entry.
+type manifestEntry struct {
+	name string
+	pos  token.Pos
+}
+
+// lookupTilingSafe parses the package-level `tilingSafe` composite map
+// literal. Malformed entries (non-literal keys, empty reasons) are
+// reported; the boolean reports whether the var was found at all.
+func lookupTilingSafe(p *ModulePass, pkg *Package) (map[string]manifestEntry, bool) {
+	out := make(map[string]manifestEntry)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "tilingSafe" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						p.Reportf(name.Pos(), "tilingSafe must be a map[string]string composite literal")
+						return out, true
+					}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.BasicLit)
+						if !ok || key.Kind != token.STRING {
+							p.Reportf(kv.Key.Pos(), "tilingSafe keys must be string literals naming Config fields")
+							continue
+						}
+						fname, err := strconv.Unquote(key.Value)
+						if err != nil {
+							continue
+						}
+						reason, ok := kv.Value.(*ast.BasicLit)
+						if !ok || reason.Kind != token.STRING || reason.Value == `""` {
+							p.Reportf(kv.Value.Pos(), "tilingSafe[%q] needs a non-empty reason string", fname)
+						}
+						out[fname] = manifestEntry{name: fname, pos: kv.Key.Pos()}
+					}
+					return out, true
+				}
+			}
+		}
+	}
+	return out, false
+}
+
+// fieldExists reports whether the struct has a field with the name.
+func fieldExists(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,435 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardSafeCheck statically fences the tiled engine's ownership
+// discipline: state marked per-tile may only be touched from the tile
+// that owns it. PR 6's one real race — the coherence protocol's
+// write-back path reading another node's cache state from the home
+// tile — is exactly the bug class this check makes impossible to
+// reintroduce.
+//
+// The discipline is declared in source with four annotations:
+//
+//	//lint:tileowned
+//	    on a struct field (a per-node slice): element i belongs to the
+//	    tile owning node i and may only be indexed by that tile.
+//	//lint:tilelocal <param>
+//	    on a function: the body executes on the tile owning node
+//	    <param>; it may index tileowned state with that parameter.
+//	//lint:tiletransfer <fnParam>@<nodeParam>
+//	    on a function: the function value passed as <fnParam> will run
+//	    on the tile owning node <nodeParam>. Closure arguments at call
+//	    sites are checked against the node argument they ship with.
+//	//lint:tileengine <param>
+//	    on a function: it returns the event engine of the tile owning
+//	    node <param>; closures scheduled directly on its result run
+//	    there.
+//
+// Closures handed to the sim.Engine.CrossAt mailbox API get a wildcard:
+// CrossAt is the sanctioned way to touch another tile, because the
+// engine defers the closure into the destination tile's own window.
+//
+// Inside a tile context, indexing a tileowned slice with anything other
+// than the witnessed node variable is a diagnostic. Outside any
+// annotation (host context: setup, teardown, result collection) access
+// is unrestricted — unless the function is reachable from a tile
+// context through the call graph, in which case it may run on a tile
+// and is held to the same standard. len/cap of a tileowned slice is
+// always fine; the geometry is immutable once the run starts.
+var ShardSafeCheck = &Check{
+	Name:  "shardsafe",
+	Doc:   "tileowned state may only be touched by its owning tile (tilelocal/tiletransfer witnesses, CrossAt for cross-tile)",
+	Scope: "sim packages (annotations live where per-tile state lives)",
+	Applies: func(pkgPath string) bool {
+		return inScope(pkgPath, simScopes)
+	},
+	RunModule: runShardSafe,
+}
+
+// tileWitness is the node variable a function body may index tileowned
+// state with. The zero value means host context (no tile).
+type tileWitness struct {
+	obj      types.Object // the witnessed node-index variable
+	wildcard bool         // CrossAt closure: sanctioned cross-tile access
+	unnamed  bool         // runs on a tile, but the node is not a simple variable
+}
+
+func (w tileWitness) host() bool { return w.obj == nil && !w.wildcard && !w.unnamed }
+
+// transferSpec is one parsed //lint:tiletransfer fn@node pair, by
+// parameter index.
+type transferSpec struct{ fnIdx, nodeIdx int }
+
+// funcAnn is the parsed annotation set of one declared function.
+type funcAnn struct {
+	local     *types.Var // tilelocal witness parameter
+	transfers []transferSpec
+	engineIdx int // tileengine node parameter index, -1 if absent
+}
+
+// shardCandidate is a host-context access to tileowned state, reported
+// only if the function turns out to be reachable from a tile context.
+type shardCandidate struct {
+	node *CGNode
+	pos  token.Pos
+	msg  string
+}
+
+func runShardSafe(p *ModulePass) {
+	s := &shardState{
+		p:     p,
+		owned: make(map[*types.Var]bool),
+		anns:  make(map[*types.Func]*funcAnn),
+	}
+	// Pass 1: collect annotations module-wide.
+	for _, pkg := range p.Pkgs {
+		s.collectAnnotations(pkg)
+	}
+	if len(s.owned) == 0 {
+		return // nothing is tileowned; nothing to fence
+	}
+	// Pass 2: walk every sim-scope function with its witness.
+	for _, pkg := range p.Pkgs {
+		if !inScope(pkg.Path, simScopes) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				cur := p.Graph.NodeFor(obj)
+				wit := tileWitness{}
+				if ann := s.anns[obj]; ann != nil && ann.local != nil {
+					wit = tileWitness{obj: ann.local}
+					s.roots = append(s.roots, cur)
+				}
+				s.scan(pkg, cur, fd.Body, wit)
+			}
+		}
+	}
+	// Pass 3: host-context candidates fire if the function is reachable
+	// from any tile context.
+	reachable := p.Graph.ReachableFrom(s.roots)
+	for _, c := range s.candidates {
+		if c.node != nil && reachable[c.node] {
+			p.Reportf(c.pos, "%s (function is reachable from a tile context)", c.msg)
+		}
+	}
+}
+
+type shardState struct {
+	p          *ModulePass
+	owned      map[*types.Var]bool // tileowned field objects
+	anns       map[*types.Func]*funcAnn
+	roots      []*CGNode // tile-context entry points
+	candidates []shardCandidate
+}
+
+// collectAnnotations parses tileowned field markers and function
+// annotations in one package.
+func (s *shardState) collectAnnotations(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				s.collectOwnedFields(pkg, d)
+			case *ast.FuncDecl:
+				s.collectFuncAnn(pkg, d)
+			}
+		}
+	}
+}
+
+// collectOwnedFields records struct fields marked //lint:tileowned.
+func (s *shardState) collectOwnedFields(pkg *Package, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if !hasMarker(field.Doc, "lint:tileowned") && !hasMarker(field.Comment, "lint:tileowned") {
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					s.owned[v] = true
+				}
+			}
+		}
+	}
+}
+
+// collectFuncAnn parses a function's tile annotations from its doc
+// comment.
+func (s *shardState) collectFuncAnn(pkg *Package, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	paramIdx := func(name string) (int, *types.Var) {
+		sig, _ := obj.Type().(*types.Signature)
+		if sig == nil {
+			return -1, nil
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if v := sig.Params().At(i); v.Name() == name {
+				return i, v
+			}
+		}
+		return -1, nil
+	}
+	ann := &funcAnn{engineIdx: -1}
+	found := false
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		switch {
+		case strings.HasPrefix(text, "lint:tilelocal "):
+			name := strings.TrimSpace(strings.TrimPrefix(text, "lint:tilelocal "))
+			_, v := paramIdx(name)
+			if v == nil {
+				s.p.Reportf(c.Pos(), "lint:tilelocal names no parameter %q of %s", name, fd.Name.Name)
+				continue
+			}
+			ann.local = v
+			found = true
+		case strings.HasPrefix(text, "lint:tiletransfer "):
+			spec := strings.TrimSpace(strings.TrimPrefix(text, "lint:tiletransfer "))
+			fnName, nodeName, ok := strings.Cut(spec, "@")
+			fi, _ := paramIdx(strings.TrimSpace(fnName))
+			ni, _ := paramIdx(strings.TrimSpace(nodeName))
+			if !ok || fi < 0 || ni < 0 {
+				s.p.Reportf(c.Pos(), "lint:tiletransfer wants <fnParam>@<nodeParam> naming parameters of %s", fd.Name.Name)
+				continue
+			}
+			ann.transfers = append(ann.transfers, transferSpec{fnIdx: fi, nodeIdx: ni})
+			found = true
+		case strings.HasPrefix(text, "lint:tileengine "):
+			name := strings.TrimSpace(strings.TrimPrefix(text, "lint:tileengine "))
+			i, _ := paramIdx(name)
+			if i < 0 {
+				s.p.Reportf(c.Pos(), "lint:tileengine names no parameter %q of %s", name, fd.Name.Name)
+				continue
+			}
+			ann.engineIdx = i
+			found = true
+		}
+	}
+	if found {
+		s.anns[obj] = ann
+	}
+}
+
+// hasMarker reports whether the comment group contains the marker.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// scan validates one function body under the given witness, recursing
+// into literals with the witness their use site assigns.
+func (s *shardState) scan(pkg *Package, cur *CGNode, body ast.Node, wit tileWitness) {
+	info := pkg.Info
+	// litWitness holds witnesses assigned to literal arguments by
+	// annotated call sites, consumed when the walk reaches the literal.
+	litWitness := make(map[*ast.FuncLit]tileWitness)
+	// consumed marks tileowned selectors already handled by an enclosing
+	// construct (index, len/cap, range).
+	consumed := make(map[*ast.SelectorExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			child := s.p.Graph.LitNode(n)
+			w, explicit := litWitness[n]
+			if !explicit {
+				w = wit // lexical inheritance: runs where it was written
+			} else if child != nil {
+				s.roots = append(s.roots, child)
+			}
+			s.scan(pkg, child, n.Body, w)
+			return false
+		case *ast.CallExpr:
+			s.assignArgWitnesses(pkg, n, litWitness)
+			// len/cap of tileowned state is geometry, not state.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args {
+						if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && s.ownedSel(info, sel) {
+							consumed[sel] = true
+						}
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+			if !ok || !s.ownedSel(info, sel) {
+				return true
+			}
+			consumed[sel] = true
+			s.checkIndex(pkg, cur, sel, n.Index, wit)
+		case *ast.RangeStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && s.ownedSel(info, sel) {
+				consumed[sel] = true
+				s.flagWhole(cur, sel, wit, "ranges over")
+			}
+		case *ast.SelectorExpr:
+			if s.ownedSel(info, n) && !consumed[n] {
+				s.flagWhole(cur, n, wit, "takes")
+			}
+		}
+		return true
+	})
+}
+
+// ownedSel reports whether the selector reads a tileowned field.
+func (s *shardState) ownedSel(info *types.Info, selExpr *ast.SelectorExpr) bool {
+	sln, ok := info.Selections[selExpr]
+	if !ok || sln.Kind() != types.FieldVal {
+		return false
+	}
+	v, _ := sln.Obj().(*types.Var)
+	return v != nil && s.owned[v]
+}
+
+// checkIndex validates one tileowned index against the witness.
+func (s *shardState) checkIndex(pkg *Package, cur *CGNode, selExpr *ast.SelectorExpr, index ast.Expr, wit tileWitness) {
+	if wit.wildcard {
+		return
+	}
+	field := selExpr.Sel.Name
+	if wit.host() {
+		s.candidates = append(s.candidates, shardCandidate{
+			node: cur,
+			pos:  selExpr.Pos(),
+			msg:  "indexes tileowned " + field + " without a tile witness; annotate the function (lint:tilelocal) or keep it host-only",
+		})
+		return
+	}
+	if wit.unnamed {
+		s.p.Reportf(selExpr.Pos(), "indexes tileowned %s in a tile context whose node is not a simple variable; bind the node to a local first so the owner is checkable", field)
+		return
+	}
+	if id, ok := ast.Unparen(index).(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj == wit.obj {
+			return
+		}
+	}
+	s.p.Reportf(selExpr.Pos(), "cross-tile access: %s[...] indexed by something other than the witnessed node %q; only the owning tile may touch it (use CrossAt to defer into the owner's window)", field, wit.obj.Name())
+}
+
+// flagWhole handles non-indexed uses of a tileowned slice (ranging,
+// passing the whole slice).
+func (s *shardState) flagWhole(cur *CGNode, selExpr *ast.SelectorExpr, wit tileWitness, verb string) {
+	if wit.wildcard {
+		return
+	}
+	field := selExpr.Sel.Name
+	if wit.host() {
+		s.candidates = append(s.candidates, shardCandidate{
+			node: cur,
+			pos:  selExpr.Pos(),
+			msg:  verb + " the whole tileowned " + field + " slice without a tile witness",
+		})
+		return
+	}
+	s.p.Reportf(selExpr.Pos(), "%s the whole tileowned %s slice from a tile context; a tile may only touch its own element", verb, field)
+}
+
+// assignArgWitnesses resolves tiletransfer / tileengine / CrossAt call
+// sites, binding witnesses to literal arguments before the walk
+// descends into them.
+func (s *shardState) assignArgWitnesses(pkg *Package, call *ast.CallExpr, litWitness map[*ast.FuncLit]tileWitness) {
+	info := pkg.Info
+	witFromArg := func(arg ast.Expr) tileWitness {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return tileWitness{obj: obj}
+			}
+		}
+		return tileWitness{unnamed: true}
+	}
+	bindLit := func(arg ast.Expr, w tileWitness) {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			litWitness[lit] = w
+		}
+	}
+
+	// CrossAt: the mailbox API. Closures it carries are deferred into
+	// the destination tile's own window — sanctioned cross-tile access.
+	if selExpr, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && selExpr.Sel.Name == "CrossAt" {
+		for _, arg := range call.Args {
+			bindLit(arg, tileWitness{wildcard: true})
+		}
+		return
+	}
+
+	// Scheduling directly on a tileengine call result:
+	// s.engAt(home).After(d, func(){...}) runs the closure on home's tile.
+	if selExpr, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if inner, ok := ast.Unparen(selExpr.X).(*ast.CallExpr); ok {
+			if ann := s.calleeAnn(info, inner); ann != nil && ann.engineIdx >= 0 && ann.engineIdx < len(inner.Args) {
+				w := witFromArg(inner.Args[ann.engineIdx])
+				for _, arg := range call.Args {
+					bindLit(arg, w)
+				}
+				return
+			}
+		}
+	}
+
+	// tiletransfer: the annotated callee ships fnParam to nodeParam's tile.
+	if ann := s.calleeAnn(info, call); ann != nil {
+		for _, t := range ann.transfers {
+			if t.fnIdx < len(call.Args) && t.nodeIdx < len(call.Args) {
+				bindLit(call.Args[t.fnIdx], witFromArg(call.Args[t.nodeIdx]))
+			}
+		}
+	}
+}
+
+// calleeAnn resolves a call's static callee to its annotation set.
+func (s *shardState) calleeAnn(info *types.Info, call *ast.CallExpr) *funcAnn {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sln, ok := info.Selections[fun]; ok {
+			obj = sln.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	return s.anns[fn]
+}

@@ -1,0 +1,18 @@
+package appfix
+
+import (
+	"repro/internal/hostfix"
+	simfix "repro/internal/sim/fixture"
+)
+
+// Fork reaches a host goroutine spawn outside the engine: application
+// code must not do this, even at one remove.
+func Fork() {
+	hostfix.Spawn(func() {}) //want callpath
+}
+
+// Parallel goes through the engine's sanctioned spawn: the sim scope is
+// a barrier and nothing fires.
+func Parallel() {
+	simfix.Go(func() {})
+}

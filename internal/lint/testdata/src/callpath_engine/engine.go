@@ -1,0 +1,8 @@
+package simfix
+
+import "repro/internal/hostfix"
+
+// Go is the engine's sanctioned worker spawn. The sim scope is a
+// barrier for the concurrency half of callpath: applications reaching
+// host concurrency through the engine API is the design, not a leak.
+func Go(f func()) { hostfix.Spawn(f) }

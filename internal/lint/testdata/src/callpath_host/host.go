@@ -1,0 +1,19 @@
+package hostfix
+
+// Package hostfix stands in for a helper package outside every sim
+// scope. Sim-facing code reaching these through the call graph is
+// exactly what callpath escalates beyond the syntactic checks.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NowMillis reads the host clock.
+func NowMillis() int64 { return time.Now().UnixMilli() }
+
+// Pick draws from the global generator.
+func Pick() float64 { return rand.Float64() }
+
+// Spawn runs f on a raw goroutine.
+func Spawn(f func()) { go f() }

@@ -1,0 +1,29 @@
+package machfix
+
+import (
+	"time"
+
+	"repro/internal/hostfix"
+)
+
+// Stamp reaches the host clock through a helper: the boundary function
+// is blamed, with the full chain in the message.
+func Stamp() int64 {
+	return hostfix.NowMillis() //want callpath
+}
+
+// Direct calls are the syntactic wallclock check's territory; callpath
+// stays quiet to avoid double-reporting.
+func Direct() time.Time { return time.Now() }
+
+// Outer reaches the clock only through Stamp; blame lands on the deeper
+// boundary, not here.
+func Outer() int64 { return Stamp() }
+
+// Jitter reaches the global rand generator transitively.
+func Jitter() float64 {
+	return hostfix.Pick() //want callpath
+}
+
+// Pure touches neither clock nor randomness.
+func Pure(a, b int64) int64 { return a + b }

@@ -1,0 +1,32 @@
+package fixture
+
+// Non-constant float arithmetic in a machine-model package is flagged at
+// the operator.
+func bad(x, y float64) float64 {
+	s := x + y //want intmath
+	s -= y     //want intmath
+	s *= 2     //want intmath
+	s /= 3     //want intmath
+	return s
+}
+
+func incdec(x float64) float64 {
+	x++ //want intmath
+	x-- //want intmath
+	return x
+}
+
+// Integer cycle math is the sanctioned idiom.
+func cycles(a, b int64) int64 { return a*b + a/2 - 1 }
+
+// Constant-folded expressions carry no runtime float op; the compiler
+// evaluates them identically everywhere.
+const scale = 2.0 * 1.5
+
+func usesScale(n int64) int64 { return n * int64(scale*10) }
+
+// A documented escape hatch fences reporting-only float math.
+func seeded(u uint64) float64 {
+	//lint:allow simlint/intmath 53-bit mantissa over a power of two is exact on every IEEE-754 host
+	return float64(u&((1<<53)-1)) / (1 << 53)
+}

@@ -1,0 +1,24 @@
+package fixture
+
+// Every way a Config field can be misclassified, in one fixture: a
+// field with neither guard nor manifest entry, a manifest entry
+// shadowing a live guard, an entry naming no field, and an entry with
+// no reason.
+type Config struct {
+	Width    int
+	SpanCap  int
+	Orphan   int //want serialonly
+	Quiet    int
+	ClockMHz int
+}
+
+var tilingSafe = map[string]string{
+	"ClockMHz": "scales identically on every tile",
+	"SpanCap":  "already guarded by tilingOK", //want serialonly
+	"Ghost":    "names no Config field",       //want serialonly
+	"Quiet":    "",                            //want serialonly
+}
+
+func (c Config) tilingOK() bool {
+	return c.Width > 0 && c.SpanCap == 0
+}

@@ -1,0 +1,27 @@
+package fixture
+
+// Config mirrors machine.Config's shape: fields the tiling gate
+// consults (directly or through a callee) plus one declared safe in the
+// manifest. Everything is classified exactly once, so the check is
+// silent.
+type Config struct {
+	Width    int
+	Height   int
+	SpanCap  int
+	ClockMHz int
+}
+
+var tilingSafe = map[string]string{
+	"ClockMHz": "scales the cycle conversion identically on every tile",
+}
+
+// nodes is consulted only transitively: Width and Height count because
+// tilingOK reaches this method through the call graph.
+func (c Config) nodes() int { return c.Width * c.Height }
+
+func (c Config) tilingOK() bool {
+	if c.nodes() < 2 {
+		return false
+	}
+	return c.SpanCap == 0
+}

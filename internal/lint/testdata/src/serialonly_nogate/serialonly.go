@@ -1,0 +1,7 @@
+package fixture
+
+// A Config with no tilingOK method at all: the tiled engine cannot be
+// gated, which is its own finding.
+type Config struct { //want serialonly
+	Width int
+}

@@ -1,0 +1,9 @@
+package fixture
+
+// A machine package with a gate but no tilingSafe manifest: the check
+// demands the manifest exist so future fields have somewhere to go.
+type Config struct { //want serialonly
+	Width int
+}
+
+func (c Config) tilingOK() bool { return c.Width > 0 }

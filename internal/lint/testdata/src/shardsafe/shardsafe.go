@@ -1,0 +1,132 @@
+package fixture
+
+// The fixture mirrors mem.System's per-node layout and the three
+// witness-transfer idioms the real tree uses: tiletransfer call sites,
+// direct scheduling on a tileengine result, and the CrossAt mailbox.
+
+// Engine mimics sim.Engine's scheduling surface.
+type Engine struct{ now int64 }
+
+func (e *Engine) After(d int64, f func()) { f() }
+
+// CrossAt is the sanctioned mailbox: the closure is deferred into the
+// target tile's own window.
+func (e *Engine) CrossAt(node int, f func()) { f() }
+
+type nodeState struct{ v int }
+
+// Sys mirrors mem.System: element i of nodes belongs to node i's tile.
+type Sys struct {
+	//lint:tileowned
+	nodes []*nodeState
+	engs  []*Engine
+}
+
+// engAt returns node's tile engine.
+//
+//lint:tileengine node
+func (s *Sys) engAt(node int) *Engine { return s.engs[node] }
+
+// send ships fn to dst's tile.
+//
+//lint:tilelocal src
+//lint:tiletransfer fn@dst
+func (s *Sys) send(src, dst int, fn func()) { s.engAt(dst).After(0, fn) }
+
+// touchOwn indexes with its witness: the owning tile touching its own
+// element is the whole point.
+//
+//lint:tilelocal node
+func (s *Sys) touchOwn(node int) { s.nodes[node].v++ }
+
+// touchOther indexes another tile's element from this tile's context.
+//
+//lint:tilelocal node
+func (s *Sys) touchOther(node, other int) {
+	s.nodes[other].v++ //want shardsafe
+}
+
+// writeback is the PR 6 pattern: the closure shipped to home's tile may
+// only touch home's element. The second send is the bug that check
+// exists to catch — the home-side handler reading the evictor's state.
+//
+//lint:tilelocal node
+func (s *Sys) writeback(node int) {
+	home := (node + 1) % len(s.nodes)
+	s.send(node, home, func() {
+		s.nodes[home].v++
+	})
+	s.send(node, home, func() {
+		s.nodes[node].v++ //want shardsafe
+	})
+}
+
+// schedule binds closures to the engine's node: the first is fine, the
+// second schedules on another tile's engine but touches this node.
+//
+//lint:tilelocal node
+func (s *Sys) schedule(node, other int) {
+	s.engAt(node).After(1, func() { s.nodes[node].v++ })
+	s.engAt(other).After(1, func() {
+		s.nodes[node].v++ //want shardsafe
+	})
+}
+
+// deferred uses the mailbox: CrossAt closures are sanctioned cross-tile
+// access, because the engine runs them in the owner's window.
+//
+//lint:tilelocal node
+func (s *Sys) deferred(node, other int) {
+	s.engAt(node).CrossAt(other, func() { s.nodes[other].v++ })
+}
+
+// unnamedDst ships a closure to a computed node: the owner cannot be
+// checked against a witness variable, which is itself the finding.
+//
+//lint:tilelocal node
+func (s *Sys) unnamedDst(node int) {
+	s.send(node, node+1, func() {
+		s.nodes[node].v++ //want shardsafe
+	})
+}
+
+// geometry: len/cap of tileowned state is immutable layout, not state.
+//
+//lint:tilelocal node
+func (s *Sys) geometry(node int) int { return len(s.nodes) }
+
+// rangeAll walks every tile's element from one tile's context.
+//
+//lint:tilelocal node
+func (s *Sys) rangeAll(node int) int {
+	total := 0
+	for _, nm := range s.nodes { //want shardsafe
+		total += nm.v
+	}
+	return total
+}
+
+func use(ns []*nodeState) {}
+
+// leak hands the whole owned slice out of a tile context.
+//
+//lint:tilelocal node
+func (s *Sys) leak(node int) { use(s.nodes) } //want shardsafe
+
+// helper has no witness of its own but is reachable from a tile context
+// (caller below), so its unwitnessed index fires.
+func (s *Sys) helper(i int) { s.nodes[i].v++ } //want shardsafe
+
+//lint:tilelocal node
+func (s *Sys) caller(node int) { s.helper(node) }
+
+// hostOnly is never called from a tile context: setup and teardown stay
+// free to touch everything.
+func (s *Sys) hostOnly() {
+	for i := range s.nodes {
+		s.nodes[i] = &nodeState{}
+	}
+}
+
+//lint:tilelocal nosuch //want shardsafe
+func (s *Sys) malformed() {}

@@ -12,8 +12,9 @@ import (
 // memoization cache. The accepted idiom is a local generator seeded
 // from configuration: rand.New(rand.NewSource(seed)).
 var UnseededRandCheck = &Check{
-	Name: "unseededrand",
-	Doc:  "forbid global math/rand functions and unseeded rand.New in simulator-facing packages",
+	Name:  "unseededrand",
+	Doc:   "forbid global math/rand functions and unseeded rand.New in simulator-facing packages",
+	Scope: "sim packages (direct calls; callpath covers transitive ones)",
 	Applies: func(pkgPath string) bool {
 		return inScope(pkgPath, simScopes)
 	},

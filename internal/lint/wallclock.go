@@ -12,8 +12,9 @@ import (
 // protocol handler silently breaks bit-identical reproduction of the
 // paper's figures and aliases the sweep memo cache.
 var WallclockCheck = &Check{
-	Name: "wallclock",
-	Doc:  "forbid time.Now/Since/Sleep etc. in simulator-facing packages; only simulated cycles may be observed",
+	Name:  "wallclock",
+	Doc:   "forbid time.Now/Since/Sleep etc. in simulator-facing packages; only simulated cycles may be observed",
+	Scope: "sim packages (direct calls; callpath covers transitive ones)",
 	Applies: func(pkgPath string) bool {
 		return inScope(pkgPath, simScopes)
 	},

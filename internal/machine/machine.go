@@ -541,6 +541,7 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		res.Windows = m.Grp.Windows()
 	}
 	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
+	//lint:allow simlint/intmath result-reporting field (Figure 8 x-axis); computed after the run ends
 	res.EmulatedBisection = res.Bisection - m.Cfg.CrossTraffic.BytesPerCycle
 	res.Links = m.Net.TopLinks(m.finish, 3)
 	if m.Obs != nil {

@@ -1,0 +1,28 @@
+package machine
+
+// tilingSafe is the in-source manifest consumed by simlint's serialonly
+// check: every Config field must either be consulted by tilingOK/Tiled
+// (so the tiled-engine gate provably sees it) or be declared here, with
+// the reason the tiled and serial engines agree for every value of the
+// field. The classification is exclusive — listing a consulted field is
+// itself a diagnostic — so deleting a guard from tilingOK immediately
+// fails `make lint`.
+//
+// When adding a Config field, either teach tilingOK about it (the
+// "forces serial for now" pattern from ROADMAP items 1 and 3) or argue
+// here why tiling cannot change results under it. There is no third
+// option, and that is the point.
+var tilingSafe = map[string]string{
+	"ClockMHz":             "scales the cycle<->picosecond conversion identically on every tile; no cross-tile interaction",
+	"PsPerByte":            "per-link serialization only delays messages beyond the HopLatency lookahead the windows are sized by",
+	"Torus":                "wrap links cross tile boundaries like any other cross-tile link, through the mailbox path",
+	"AdaptiveXY":           "routing choice is a pure function of packet header and static geometry, identical under both engines",
+	"Mem":                  "protocol costs are per-node cycle counts; coherence traffic crosses tiles only through mailboxes",
+	"AM":                   "active-message costs are per-node cycle counts; delivery crosses tiles only through mailboxes",
+	"PrefetchIssueCycles":  "local processor issue cost; never observed off-node",
+	"InterruptCheckCycles": "local processor polling cadence; never observed off-node",
+	"FaultSeed":            "meaningful only with FaultSpec, whose stochastic clauses tilingOK already forces serial",
+	"NoiseSeed":            "meaningful only with NoiseSpec, which tilingOK already forces serial",
+	"EventLimit":           "runaway-dispatch guard, not a model parameter; both engines count dispatched events",
+	"DeadlineCycles":       "watchdog arming, not a model parameter; stall blame is certified under sharding (TestStallBlameUnderSharding)",
+}

@@ -48,6 +48,8 @@ func (nm *nodeMem) rc() *rcState {
 // StoreWordRelaxed is the RC store path: it never blocks unless the write
 // buffer is full. Visibility is guaranteed only after a Fence (or an
 // atomic operation, which fences implicitly).
+//
+//lint:tilelocal node
 func (s *System) storeRelaxed(th *sim.Thread, node int, a Addr, v float64, bd *stats.Breakdown, bucket stats.TimeBucket) {
 	nm := s.nodes[node]
 	rc := nm.rc()
@@ -130,6 +132,8 @@ func (s *System) chargeStoreIssue(th *sim.Thread, bd *stats.Breakdown) {
 }
 
 // wakeRC wakes all fence/full-buffer waiters to recheck their condition.
+//
+//lint:tilelocal node
 func (s *System) wakeRC(node int, rc *rcState) {
 	ws := rc.waiters
 	rc.waiters = nil
@@ -142,6 +146,8 @@ func (s *System) wakeRC(node int, rc *rcState) {
 
 // Fence blocks until every buffered store by node has completed. A no-op
 // under sequential consistency (stores already blocked).
+//
+//lint:tilelocal node
 func (s *System) Fence(th *sim.Thread, node int, bd *stats.Breakdown, bucket stats.TimeBucket) {
 	if s.par.Consistency != RC {
 		return
@@ -156,6 +162,8 @@ func (s *System) Fence(th *sim.Thread, node int, bd *stats.Breakdown, bucket sta
 
 // rcForward returns the pending buffered value for a, if any (RC loads
 // must observe the node's own program order).
+//
+//lint:tilelocal node
 func (s *System) rcForward(node int, a Addr) (float64, bool) {
 	if s.par.Consistency != RC {
 		return 0, false

@@ -27,10 +27,16 @@ type System struct {
 	clk   sim.Clock
 	par   Params
 	store *Store
+	// nodes is per-node protocol state: cache, directory, controller
+	// pipeline, outstanding transactions. Element i belongs to the tile
+	// that owns node i; simlint's shardsafe check enforces that only
+	// code witnessed to run on that tile indexes it.
+	//lint:tileowned
 	nodes []*nodeMem
 	// evs is per-node protocol event accounting. Each slot is only ever
 	// written from its node's engine context, so tiled runs count
 	// lock-free; Events sums across nodes.
+	//lint:tileowned
 	evs []stats.Events
 	// engOf, when non-nil, maps a node to its tile engine (tiled runs);
 	// nil means every node shares eng. See SetTileEngines.
@@ -158,6 +164,8 @@ func (s *System) SetTileEngines(engOf func(node int) *sim.Engine) {
 }
 
 // engAt returns the engine that executes node's events.
+//
+//lint:tileengine node
 func (s *System) engAt(node int) *sim.Engine {
 	if s.engOf != nil {
 		return s.engOf(node)
@@ -185,6 +193,9 @@ func (s *System) lineHome(line Addr) int {
 // pipelined: each operation's result is available HomeOccCycles after it
 // starts, but the controller accepts a new operation every
 // CtlServiceCycles (occupancy < latency, as in the CMMU).
+//
+//lint:tilelocal node
+//lint:tiletransfer fn@node
 func (s *System) atCtl(node int, fn func()) {
 	nm := s.nodes[node]
 	eng := s.engAt(node)
@@ -199,6 +210,9 @@ func (s *System) atCtl(node int, fn func()) {
 // sendCoh moves a protocol message from src to dst and runs onDeliver at
 // arrival. Local (src==dst) messages bypass the network; ideal-network
 // mode replaces transit with the fixed one-way latency.
+//
+//lint:tilelocal src
+//lint:tiletransfer onDeliver@dst
 func (s *System) sendCoh(src, dst int, class mesh.Class, payloadBytes int, onDeliver func()) {
 	switch {
 	case src == dst:
@@ -220,6 +234,8 @@ func (s *System) sendCoh(src, dst int, class mesh.Class, payloadBytes int, onDel
 
 // Load performs a blocking sequentially-consistent load by node's
 // processor thread th, charging stall time to bd's bucket.
+//
+//lint:tilelocal node
 func (s *System) Load(th *sim.Thread, node int, a Addr, bd *stats.Breakdown, bucket stats.TimeBucket) float64 {
 	if v, ok := s.rcForward(node, a); ok {
 		// Read-own-write forwarding from the write buffer.
@@ -234,6 +250,8 @@ func (s *System) Load(th *sim.Thread, node int, a Addr, bd *stats.Breakdown, buc
 
 // StoreWord performs a store: blocking under sequential consistency,
 // buffered under release consistency.
+//
+//lint:tilelocal node
 func (s *System) StoreWord(th *sim.Thread, node int, a Addr, v float64, bd *stats.Breakdown, bucket stats.TimeBucket) {
 	if s.par.Consistency == RC {
 		s.storeRelaxed(th, node, a, v, bd, bucket)
@@ -245,6 +263,8 @@ func (s *System) StoreWord(th *sim.Thread, node int, a Addr, v float64, bd *stat
 // RMW performs an atomic read-modify-write: fn is applied to the current
 // value at the moment write ownership is held. It returns the value fn
 // returned. Atomicity follows from per-line ownership serialization.
+//
+//lint:tilelocal node
 func (s *System) RMW(th *sim.Thread, node int, a Addr, fn func(float64) float64, bd *stats.Breakdown, bucket stats.TimeBucket) float64 {
 	s.Fence(th, node, bd, bucket) // atomics order buffered stores
 	var out float64
@@ -257,6 +277,8 @@ func (s *System) RMW(th *sim.Thread, node int, a Addr, fn func(float64) float64,
 // paper's producer-computes ICCG pattern, where a value and its presence
 // counter share a cache line and a single ownership acquisition covers
 // both.
+//
+//lint:tilelocal node
 func (s *System) Update(th *sim.Thread, node int, a Addr, fn func(), bd *stats.Breakdown, bucket stats.TimeBucket) {
 	s.Fence(th, node, bd, bucket) // atomics order buffered stores
 	s.accessEx(th, node, a, true, true, fn, bd, bucket)
@@ -264,6 +286,8 @@ func (s *System) Update(th *sim.Thread, node int, a Addr, fn func(), bd *stats.B
 
 // Prefetch issues a non-binding prefetch of a's line (write requests
 // exclusive ownership). It never blocks; the caller charges issue cost.
+//
+//lint:tilelocal node
 func (s *System) Prefetch(node int, a Addr, write bool) {
 	s.evs[node].PrefetchIssued++
 	nm := s.nodes[node]
@@ -288,11 +312,15 @@ func (s *System) Prefetch(node int, a Addr, write bool) {
 }
 
 // access is the common blocking path for loads, stores and RMWs.
+//
+//lint:tilelocal node
 func (s *System) access(th *sim.Thread, node int, a Addr, write bool, apply func(), bd *stats.Breakdown, bucket stats.TimeBucket) {
 	s.accessEx(th, node, a, write, false, apply, bd, bucket)
 }
 
 // accessEx is access with the atomicity requirement made explicit.
+//
+//lint:tilelocal node
 func (s *System) accessEx(th *sim.Thread, node int, a Addr, write, atomic bool, apply func(), bd *stats.Breakdown, bucket stats.TimeBucket) {
 	line := LineOf(a, s.par.LineWords)
 	nm := s.nodes[node]
@@ -383,6 +411,8 @@ func (s *System) wait(t *txn, th *sim.Thread, bd *stats.Breakdown, bucket stats.
 
 // installLine places a line into node's cache, emitting any victim
 // write-back.
+//
+//lint:tilelocal node
 func (s *System) installLine(node int, line Addr, st lineState, gen uint64) {
 	victim, dirty, victimGen := s.nodes[node].cache.fill(line, st, gen)
 	if victim != NilAddr && dirty {
@@ -394,6 +424,10 @@ func (s *System) installLine(node int, line Addr, st lineState, gen uint64) {
 // Transactions
 // ---------------------------------------------------------------------------
 
+// startTxn opens a miss transaction at node and routes the request to
+// the line's home controller.
+//
+//lint:tilelocal node
 func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
 	eng := s.engAt(node)
 	if s.tr != nil {
@@ -428,6 +462,8 @@ func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
 // service (busy), later arrivals park in a strict FIFO queue. release
 // pops exactly one queued request per completion, so no requester can
 // starve behind faster re-requesters.
+//
+//lint:tilelocal home
 func (s *System) homeDispatch(home, req int, line Addr, write bool, t *txn) {
 	e := s.nodes[home].dir.entry(line)
 	if e.busy {
@@ -445,6 +481,8 @@ func (s *System) homeDispatch(home, req int, line Addr, write bool, t *txn) {
 
 // homeProcess services one request; e.busy is held by the caller and
 // released via s.release at every terminal point.
+//
+//lint:tilelocal home
 func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *dirEntry) {
 	if e.state == dirModified && e.owner != req {
 		if e.owner == home {
@@ -576,6 +614,8 @@ func (s *System) homeProcess(home, req int, line Addr, write bool, t *txn, e *di
 }
 
 // countMiss classifies a (non-dirty-path) miss as local or remote-clean.
+//
+//lint:tilelocal home
 func (s *System) countMiss(home, req int, dirty bool) {
 	switch {
 	case dirty:
@@ -592,6 +632,8 @@ func (s *System) countMiss(home, req int, dirty bool) {
 // 24-byte data reply in the network; acking first would install a stale
 // shared copy). Deferral is safe only for granted read transactions,
 // which complete independently of the invalidation round.
+//
+//lint:tilelocal node
 func (s *System) invalidateAt(node int, line Addr, ack func()) {
 	nm := s.nodes[node]
 	if t := nm.pending[line]; t != nil && !t.write && t.granted {
@@ -612,6 +654,8 @@ func (s *System) invalidateAt(node int, line Addr, ack func()) {
 // copy. If the owner's own write grant is still in flight, the fetch
 // defers until the fill completes (ownership must be observed before it
 // can be taken away).
+//
+//lint:tilelocal owner
 func (s *System) ownerFetch(owner, home, req int, line Addr, write bool, t *txn) {
 	nm := s.nodes[owner]
 	if ot := nm.pending[line]; ot != nil && ot.write && ot.granted {
@@ -623,6 +667,9 @@ func (s *System) ownerFetch(owner, home, req int, line Addr, write bool, t *txn)
 	s.ownerFetchNow(owner, home, req, line, write, t)
 }
 
+// ownerFetchNow surrenders the owner's dirty copy immediately.
+//
+//lint:tilelocal owner
 func (s *System) ownerFetchNow(owner, home, req int, line Addr, write bool, t *txn) {
 	nm := s.nodes[owner]
 	if write {
@@ -658,6 +705,8 @@ func (s *System) ownerFetchNow(owner, home, req int, line Addr, write bool, t *t
 // data is pushed to every sharer (which keeps its copy), acks return, and
 // the writer is granted a SHARED copy — its next store to the line pays
 // another round trip, and its readers never refetch.
+//
+//lint:tilelocal home
 func (s *System) updateRound(home, req int, line Addr, t *txn, e *dirEntry, shs sharerSet) {
 	e.state = dirShared
 	e.sharers.add(req)
@@ -688,6 +737,8 @@ func (s *System) updateRound(home, req int, line Addr, t *txn, e *dirEntry, shs 
 
 // grant sends the data reply to the requestor after DRAM access (plus any
 // LimitLESS software penalty) and marks the transaction granted.
+//
+//lint:tilelocal home
 func (s *System) grant(home, req int, line Addr, write bool, t *txn, extra sim.Time) {
 	st := lineShared
 	if write {
@@ -698,6 +749,8 @@ func (s *System) grant(home, req int, line Addr, write bool, t *txn, extra sim.T
 
 // grantState is grant with an explicit final cache state for the
 // requestor (the update protocol grants writes as shared).
+//
+//lint:tilelocal home
 func (s *System) grantState(home, req int, line Addr, st lineState, t *txn, extra sim.Time) {
 	t.granted = true
 	delay := s.cyc(s.par.DRAMCycles) + extra
@@ -727,6 +780,8 @@ func (s *System) grantState(home, req int, line Addr, st lineState, t *txn, extr
 // release finishes one request's service: it hands the entry to the
 // oldest queued request (keeping busy held across the handoff so fresh
 // arrivals cannot jump the queue) or marks the entry idle.
+//
+//lint:tilelocal home
 func (s *System) release(home int, e *dirEntry) {
 	if len(e.queue) > 0 {
 		f := e.queue[0]
@@ -742,6 +797,8 @@ func (s *System) release(home int, e *dirEntry) {
 
 // completeTxn installs the line, runs deferred operations, and wakes
 // waiting threads.
+//
+//lint:tilelocal node
 func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
 	eng := s.engAt(node)
 	nm := s.nodes[node]
@@ -783,6 +840,8 @@ func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
 
 // writeback returns a dirty evicted line to its home. gen is the
 // ownership generation the evicted copy was granted under.
+//
+//lint:tilelocal node
 func (s *System) writeback(node int, line Addr, gen uint64) {
 	s.evs[node].WriteBacks++
 	home := s.lineHome(line)

@@ -18,6 +18,7 @@ func NewClock(mhz float64) Clock {
 	if mhz <= 0 {
 		panic(fmt.Sprintf("sim: non-positive clock frequency %v MHz", mhz))
 	}
+	//lint:allow simlint/intmath one-time MHz->picosecond conversion at construction; latched as integer Time before any event runs
 	return Clock{psPerCycle: Time(1e6/mhz + 0.5)}
 }
 
@@ -25,6 +26,8 @@ func NewClock(mhz float64) Clock {
 func (c Clock) PsPerCycle() Time { return c.psPerCycle }
 
 // MHz returns the clock frequency in megahertz.
+//
+//lint:allow simlint/intmath reporting label only; never feeds event times
 func (c Clock) MHz() float64 { return 1e6 / float64(c.psPerCycle) }
 
 // Cycles converts a cycle count to a duration.
@@ -37,5 +40,6 @@ func (c Clock) ToCycles(t Time) int64 {
 
 // ToCyclesF converts a duration to fractional cycles.
 func (c Clock) ToCyclesF(t Time) float64 {
+	//lint:allow simlint/intmath figure-output conversion only; never feeds event times
 	return float64(t) / float64(c.psPerCycle)
 }

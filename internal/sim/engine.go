@@ -17,10 +17,13 @@ const (
 func (t Time) String() string {
 	switch {
 	case t >= Millisecond:
+		//lint:allow simlint/intmath duration formatting for humans; never feeds event times
 		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
 	case t >= Microsecond:
+		//lint:allow simlint/intmath duration formatting for humans; never feeds event times
 		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
 	case t >= Nanosecond:
+		//lint:allow simlint/intmath duration formatting for humans; never feeds event times
 		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
 	default:
 		return fmt.Sprintf("%dps", int64(t))
