@@ -37,8 +37,8 @@ func main() {
 	shards := flag.Int("shards", 0, "per-run engine shards: 0 = auto (tiled engine with "+
 		strconv.Itoa(machine.AutoShardWorkers)+" workers at "+strconv.Itoa(machine.AutoShardNodes)+"+ nodes), "+
 		"-1 = force the serial engine, N = force the tiled engine with N workers; "+
-		"configs the tiled engine cannot run (metrics/trace/span capture, cross-traffic, "+
-		"ideal network, jitter faults, stochastic noise) fall back to serial")
+		"configs the tiled engine cannot run (cross-traffic, ideal network, jitter faults, "+
+		"stochastic noise) fall back to serial — observability capture is shard-safe")
 	faults := flag.String("faults", "", "deterministic fault injection spec, e.g. "+
 		"'jitter:max=200ns,prob=0.1;outage:node=*,start=10us,dur=2us,every=50us' (robustness studies)")
 	seed := flag.Uint64("seed", 1, "fault schedule seed (used with -faults)")
@@ -47,6 +47,10 @@ func main() {
 	noiseSeeds := flag.Int("noiseseeds", 8, "number of noise seeds (1..N) for the Figure S2 runtime distribution")
 	timelineDir := flag.String("timeline", "", "write a Perfetto trace-event JSON timeline and a metrics "+
 		"snapshot per executed run into this directory (enables metrics collection; byte-identical across reruns)")
+	critpath := flag.Bool("critpath", false, "profile the critical path: attribute every cycle of the "+
+		"last-finishing processor to compute / memory stall / network latency / network bandwidth / "+
+		"synchronization (prints a table with -fig 4, adds a critpath_fig4.csv with -csv, a crit "+
+		"record per run with -runlog, and a critpath lane with -timeline)")
 	spanCap := flag.Int("spancap", 4096, "thread-state spans retained per run for -timeline (ring buffer capacity)")
 	runlog := flag.String("runlog", "", "write one JSON line per simulation run (fingerprint, memoization, "+
 		"wall time, outcome, hottest links) to this file")
@@ -89,6 +93,7 @@ func main() {
 	cfg.FaultSpec = *faults
 	cfg.FaultSeed = *seed
 	cfg.Shards = *shards
+	cfg.CritPath = *critpath
 
 	if *list {
 		figures.PrintCatalog(os.Stdout)
@@ -265,6 +270,13 @@ func main() {
 		writeCSV("fig4_breakdowns.csv", func(w *os.File) error {
 			return figures.WriteFig4CSV(w, fig4rows)
 		})
+		if *critpath {
+			fmt.Fprintln(out)
+			figures.PrintCritPath(out, fig4rows)
+			writeCSV("critpath_fig4.csv", func(w *os.File) error {
+				return figures.WriteCritPathCSV(w, fig4rows)
+			})
+		}
 		sep()
 	}
 	if want(5) {

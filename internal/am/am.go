@@ -116,7 +116,8 @@ type msg struct {
 	args    []int64
 	vals    []float64
 	bulk    bool
-	bytes   int // wire size, for stats
+	bytes   int      // wire size, for stats
+	sent    sim.Time // injection timestamp at the source
 }
 
 // ni is one node's network interface receive side.
@@ -124,6 +125,12 @@ type ni struct {
 	q        []*msg
 	notify   func() // one-shot arm: fires on message arrival
 	waitFull int64
+	// Last arrival, for the critical-path recorder: a receiver woken by
+	// its armed notify can ask what message woke it (see LastArrival).
+	lastSrc   int
+	lastSent  sim.Time
+	lastBytes int
+	arrivals  int64
 }
 
 // System is the machine-wide active message layer.
@@ -145,7 +152,11 @@ type System struct {
 	// outFree[n] is node n's injection backlog horizon.
 	outFree []sim.Time
 
-	tr *trace.Buffer // optional event trace
+	// trOf, when non-nil, routes trace events to the recording node's
+	// buffer (the sender for send events, the receiver for receive
+	// events). Serial runs route every node to one shared buffer; tiled
+	// runs hand out per-tile buffers so recording stays single-writer.
+	trOf func(node int) *trace.Buffer
 
 	// fault, when non-nil, injects endpoint drain stalls (the NI refuses
 	// deliveries during a stall window, exercising the mesh retry path).
@@ -199,8 +210,21 @@ type DrainStaller interface {
 // fault-free build.
 func (s *System) SetFaultInjector(fi DrainStaller) { s.fault = fi }
 
-// SetTrace attaches an event trace buffer (nil disables tracing).
-func (s *System) SetTrace(tr *trace.Buffer) { s.tr = tr }
+// SetTrace attaches an event trace buffer shared by all nodes (nil
+// disables tracing). Serial engine only — for tiled runs use
+// SetTraceShards.
+func (s *System) SetTrace(tr *trace.Buffer) {
+	if tr == nil {
+		s.trOf = nil
+		return
+	}
+	s.trOf = func(int) *trace.Buffer { return tr }
+}
+
+// SetTraceShards attaches a per-node trace routing function; under the
+// tiled engine it must return the recording node's own tile buffer so
+// every buffer keeps a single writer.
+func (s *System) SetTraceShards(trOf func(node int) *trace.Buffer) { s.trOf = trOf }
 
 // NewSystem creates the message layer for every node of net.
 func NewSystem(eng *sim.Engine, net *mesh.Network, clk sim.Clock, par Params) *System {
@@ -310,12 +334,12 @@ func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64,
 		}
 		s.mOutBack[src].Observe(s.clk.ToCycles(back))
 	}
-	if s.tr != nil {
+	if s.trOf != nil {
 		k := trace.KMsgSend
 		if bulk {
 			k = trace.KBulk
 		}
-		s.tr.Add(trace.Event{At: s.engAt(src).Now(), Node: src, Kind: k,
+		s.trOf(src).Add(trace.Event{At: s.engAt(src).Now(), Node: src, Kind: k,
 			A: int64(dst), B: int64(s.par.ValBytes * len(vals))})
 	}
 	if bulk {
@@ -323,7 +347,7 @@ func (s *System) inject(src, dst int, h HandlerID, args []int64, vals []float64,
 		s.evs[src].BulkBytes += int64(s.par.ValBytes * len(vals))
 	}
 	// Copy payloads: applications commonly reuse gather buffers.
-	m := &msg{src: src, handler: h, bulk: bulk}
+	m := &msg{src: src, handler: h, bulk: bulk, sent: s.engAt(src).Now()}
 	m.args = append([]int64(nil), args...)
 	m.vals = append([]float64(nil), vals...)
 
@@ -411,6 +435,8 @@ func (e endpoint) TryDeliver(now sim.Time, p *mesh.Packet) (bool, sim.Time) {
 func (s *System) arrive(node int, m *msg) {
 	ni := s.nis[node]
 	ni.q = append(ni.q, m)
+	ni.lastSrc, ni.lastSent, ni.lastBytes = m.src, m.sent, m.bytes
+	ni.arrivals++
 	if s.mInDepth != nil {
 		s.mInDepth[node].Observe(int64(len(ni.q)))
 	}
@@ -418,6 +444,16 @@ func (s *System) arrive(node int, m *msg) {
 		ni.notify = nil
 		f()
 	}
+}
+
+// LastArrival describes the most recent message arrival at node: its
+// source, injection timestamp, and wire size. ok is false before the
+// first arrival. A receiver woken by its Notify callback uses this to
+// attribute the wake — the notify fires synchronously at arrival, so at
+// wake time the waking message is the last arrival.
+func (s *System) LastArrival(node int) (src int, sent sim.Time, bytes int, ok bool) {
+	ni := s.nis[node]
+	return ni.lastSrc, ni.lastSent, ni.lastBytes, ni.arrivals > 0
 }
 
 // HasPending reports whether node has undelivered messages queued.
@@ -481,8 +517,8 @@ func (s *System) drain(th *sim.Thread, node int, bd *stats.Breakdown, perMsg int
 		if s.mRecv != nil {
 			s.mRecv[node].Inc()
 		}
-		if s.tr != nil {
-			s.tr.Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KMsgRecv, A: int64(m.src)})
+		if s.trOf != nil {
+			s.trOf(node).Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KMsgRecv, A: int64(m.src)})
 		}
 		cost := perMsg
 		if m.bulk {

@@ -196,6 +196,9 @@ type RunResult struct {
 	Obs *obs.Registry
 	// Spans holds the thread-state timeline when Machine.SpanCap was set.
 	Spans *obs.SpanBuffer
+	// Crit holds the critical-path recorder (edge stream) when
+	// Machine.CritPath was set; the summary lives in Result.CritPath.
+	Crit *obs.CritRecorder
 }
 
 // RunError is a crashed run recovered into a value: the simulation
@@ -242,7 +245,7 @@ func Run(rc RunConfig) (res RunResult, err error) {
 			return RunResult{}, fmt.Errorf("core: %s/%s: %w", rc.App, rc.Mech, err)
 		}
 	}
-	return RunResult{Result: mres, App: rc.App, Mech: rc.Mech, Trace: m.Trace, Obs: m.Obs, Spans: m.Spans}, nil
+	return RunResult{Result: mres, App: rc.App, Mech: rc.Mech, Trace: m.Trace, Obs: m.Obs, Spans: m.Spans, Crit: m.Crit}, nil
 }
 
 // MustRun is Run, panicking on error (for benchmarks and examples).

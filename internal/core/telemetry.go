@@ -67,12 +67,32 @@ type RunRecord struct {
 	NoiseSamples    int64 `json:"noise_samples,omitempty"`     // stochastic draws that injected time
 	NoiseInjectedPs int64 `json:"noise_injected_ps,omitempty"` // total simulated time injected, ps
 
-	Shards   int      `json:"shards,omitempty"`    // configured tiled-engine workers (0 = serial; auto runs may be clamped to GOMAXPROCS)
-	Tiles    int      `json:"tiles,omitempty"`     // tiled-engine tile count (0 = serial engine)
-	Windows  uint64   `json:"windows,omitempty"`   // conservative windows executed (0 = serial engine)
-	Outcome  string   `json:"outcome"`             // "ok", "stall", or "crash"
-	Error    string   `json:"error,omitempty"`     // failure detail
-	HotLinks []string `json:"hot_links,omitempty"` // top-3 mesh links by bytes
+	Shards   int      `json:"shards,omitempty"`        // configured tiled-engine workers (0 = serial; auto runs may be clamped to GOMAXPROCS)
+	Tiles    int      `json:"tiles,omitempty"`         // tiled-engine tile count (0 = serial engine)
+	Windows  uint64   `json:"windows,omitempty"`       // conservative windows executed (0 = serial engine)
+	Engine   string   `json:"engine"`                  // "tiled" or "serial"
+	Reason   string   `json:"serial_reason,omitempty"` // why the serial engine ran (Config field name)
+	Outcome  string   `json:"outcome"`                 // "ok", "stall", or "crash"
+	Error    string   `json:"error,omitempty"`         // failure detail
+	HotLinks []string `json:"hot_links,omitempty"`     // top-3 mesh links by bytes (+ machine-wide p99 hop wait when metrics ran)
+
+	// Crit is the critical-path summary (omitted unless the run was
+	// profiled with machine.Config.CritPath).
+	Crit *CritRecord `json:"crit,omitempty"`
+}
+
+// CritRecord is the runlog's critical-path summary: category cycles
+// summing to total_cycles, plus the longest recorded causal edges
+// rendered "kind src->dst [start,end)cyc lat=N bw=N".
+type CritRecord struct {
+	Node     int      `json:"node"`
+	Total    int64    `json:"total_cycles"`
+	Compute  int64    `json:"compute"`
+	MemStall int64    `json:"mem_stall"`
+	NetLat   int64    `json:"net_latency"`
+	NetBW    int64    `json:"net_bandwidth"`
+	Sync     int64    `json:"sync"`
+	TopEdges []string `json:"top_edges,omitempty"`
 }
 
 // FingerprintLabel returns a stable 16-hex-digit hash of rc's canonical
@@ -112,6 +132,12 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 	if rc.Machine.NoiseSpec != "" {
 		rec.NoiseSeed = rc.Machine.NoiseSeed
 	}
+	if rc.Machine.Tiled() {
+		rec.Engine = "tiled"
+	} else {
+		rec.Engine = "serial"
+		rec.Reason = rc.Machine.SerialReason()
+	}
 	if memo {
 		rec.Memo = "hit"
 	}
@@ -122,9 +148,27 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 		rec.Windows = res.Windows
 		rec.NoiseSamples = res.Noise.Samples()
 		rec.NoiseInjectedPs = res.Noise.InjectedPs()
+		p99 := ""
+		if res.Obs != nil {
+			if h := res.Obs.FindHistogram("mesh_hop_wait_ps", ""); h != nil {
+				p99 = fmt.Sprintf(" p99wait=%dps", h.P99())
+			}
+		}
 		for _, l := range res.Links {
 			rec.HotLinks = append(rec.HotLinks,
-				fmt.Sprintf("%s(%d<->%d) bytes=%d util=%.3f", l.Link, l.A, l.B, l.Bytes, l.Utilization))
+				fmt.Sprintf("%s(%d<->%d) bytes=%d util=%.3f%s", l.Link, l.A, l.B, l.Bytes, l.Utilization, p99))
+		}
+		if cp := res.CritPath; cp != nil {
+			cr := &CritRecord{
+				Node: cp.Node, Total: cp.TotalCycles,
+				Compute: cp.Compute, MemStall: cp.MemStall,
+				NetLat: cp.NetLatency, NetBW: cp.NetBandwidth, Sync: cp.Sync,
+			}
+			for _, e := range cp.TopEdges {
+				cr.TopEdges = append(cr.TopEdges, fmt.Sprintf("%s %d->%d [%d,%d)cyc lat=%d bw=%d",
+					e.Kind, e.Src, e.Dst, e.StartCycles, e.EndCycles, e.LatCycles, e.BWCycles))
+			}
+			rec.Crit = cr
 		}
 	default:
 		rec.Outcome = "crash"
@@ -166,17 +210,21 @@ func (t *Telemetry) observe(rc RunConfig, res RunResult, err error, wall time.Du
 func (t *Telemetry) writeArtifacts(rc RunConfig, res RunResult) {
 	clk := sim.NewClock(rc.Machine.ClockMHz)
 	name := runName(rc)
-	if t.TimelineDir != "" && (res.Spans != nil || res.Trace != nil) {
+	if t.TimelineDir != "" && (res.Spans != nil || res.Trace != nil || res.Crit != nil) {
 		var spans []obs.Span
 		var events []trace.Event
+		var edges []obs.CritEdge
 		if res.Spans != nil {
 			spans = res.Spans.Spans()
 		}
 		if res.Trace != nil {
 			events = res.Trace.Events()
 		}
+		if res.Crit != nil {
+			edges = res.Crit.Edges()
+		}
 		t.toFile(filepath.Join(t.TimelineDir, name+".json"), func(w io.Writer) error {
-			return obs.WriteTimeline(w, clk, spans, events)
+			return obs.WriteTimeline(w, clk, spans, events, edges)
 		})
 	}
 	if t.TimelineDir != "" && res.Obs != nil {

@@ -123,6 +123,50 @@ func WriteFig4CSV(w io.Writer, rows []Fig4Row) error {
 	return cw.Error()
 }
 
+// WriteCritPathCSV emits the critical-path attribution per figure point:
+// one row per (app, mechanism) with the critical (last-finishing)
+// processor, its total cycles, and the exhaustive five-way cause split
+// (the five category columns sum to total_cycles by construction). Rows
+// whose run was not profiled (machine.Config.CritPath unset) are
+// skipped. net_latency_share is the headline sensitivity number: the
+// fraction of the critical path spent on uncongested message flight.
+func WriteCritPathCSV(w io.Writer, rows []Fig4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "mechanism", "crit_node", "total_cycles",
+		"compute", "mem_stall", "net_latency", "net_bandwidth", "sync",
+		"net_latency_share",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cp := r.Res.CritPath
+		if cp == nil {
+			continue
+		}
+		share := 0.0
+		if cp.TotalCycles > 0 {
+			share = float64(cp.NetLatency) / float64(cp.TotalCycles)
+		}
+		row := []string{
+			string(r.App), r.Res.Mech.String(),
+			strconv.Itoa(cp.Node),
+			strconv.FormatInt(cp.TotalCycles, 10),
+			strconv.FormatInt(cp.Compute, 10),
+			strconv.FormatInt(cp.MemStall, 10),
+			strconv.FormatInt(cp.NetLatency, 10),
+			strconv.FormatInt(cp.NetBandwidth, 10),
+			strconv.FormatInt(cp.Sync, 10),
+			strconv.FormatFloat(share, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteMissPenaltiesCSV emits the Figure 3 microbenchmark results.
 func WriteMissPenaltiesCSV(w io.Writer, mp core.MissPenalties) error {
 	cw := csv.NewWriter(w)

@@ -62,6 +62,36 @@ func PrintFig4(w io.Writer, rows []Fig4Row) {
 	tw.Flush()
 }
 
+// PrintCritPath renders the critical-path attribution for Figure 4's
+// runs: which processor finished last, and where its cycles went. The
+// interesting columns are the two network shares — net-lat is time the
+// path waited on uncongested message flight (irreducible at a given
+// HopLatency), net-bw the serialization/queueing/occupancy remainder —
+// because they separate the latency sensitivity the paper measures from
+// the bandwidth sensitivity.
+func PrintCritPath(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Critical path: last-finishing processor's cycles by cause")
+	fmt.Fprintln(w, "(percentages of that processor's total; categories are exhaustive and sum to 100)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tmechanism\tnode\tcycles\tcompute%\tmem%\tnet-lat%\tnet-bw%\tsync%")
+	for _, row := range rows {
+		cp := row.Res.CritPath
+		if cp == nil {
+			continue
+		}
+		pct := func(v int64) float64 {
+			if cp.TotalCycles == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(cp.TotalCycles)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%.0f\t%.1f\t%.1f\t%.0f\n",
+			row.App, row.Res.Mech, cp.Node, cp.TotalCycles,
+			pct(cp.Compute), pct(cp.MemStall), pct(cp.NetLatency), pct(cp.NetBandwidth), pct(cp.Sync))
+	}
+	tw.Flush()
+}
+
 // Fig5Data reuses Figure 4 runs' volume accounting.
 type Fig5Row = Fig4Row
 

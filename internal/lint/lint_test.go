@@ -210,9 +210,11 @@ func TestCallPathFixture(t *testing.T) {
 }
 
 // TestSerialOnlyGuardDeletion is the check's reason to exist, exercised
-// against the real module: delete the SpanCap/TraceCap/Metrics guard
-// from machine.Config.tilingOK and serialonly must fail. Loading the
-// whole module from source is slow, so the test is skipped under -short.
+// against the real module: delete the CrossTraffic guard from
+// machine.Config.serialReason (the guard body tilingOK forwards to, and
+// which the check's forward closure therefore covers) and serialonly
+// must fail. Loading the whole module from source is slow, so the test
+// is skipped under -short.
 func TestSerialOnlyGuardDeletion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module from source")
@@ -225,7 +227,7 @@ func TestSerialOnlyGuardDeletion(t *testing.T) {
 		t.Fatalf("real tree is not clean under serialonly before mutation:\n%v", diags)
 	}
 
-	// Find tilingOK and cut the guard statement that consults SpanCap.
+	// Find serialReason and cut the guard statement consulting CrossTraffic.
 	var body *ast.BlockStmt
 	for _, pkg := range pkgs {
 		if pkg.Path != "repro/internal/machine" {
@@ -233,14 +235,14 @@ func TestSerialOnlyGuardDeletion(t *testing.T) {
 		}
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "tilingOK" {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "serialReason" {
 					body = fd.Body
 				}
 			}
 		}
 	}
 	if body == nil {
-		t.Fatal("no tilingOK declaration found in repro/internal/machine")
+		t.Fatal("no serialReason declaration found in repro/internal/machine")
 	}
 	mentions := func(st ast.Stmt, field string) bool {
 		hit := false
@@ -257,29 +259,29 @@ func TestSerialOnlyGuardDeletion(t *testing.T) {
 	kept := make([]ast.Stmt, 0, len(orig))
 	cut := false
 	for _, st := range orig {
-		if !cut && mentions(st, "SpanCap") {
+		if !cut && mentions(st, "CrossTraffic") {
 			cut = true
 			continue
 		}
 		kept = append(kept, st)
 	}
 	if !cut {
-		t.Fatal("tilingOK has no statement consulting SpanCap; the fixture assumption broke")
+		t.Fatal("serialReason has no statement consulting CrossTraffic; the fixture assumption broke")
 	}
 	body.List = kept
 
 	diags := Run(pkgs, []*Check{SerialOnlyCheck})
 	if len(diags) == 0 {
-		t.Fatal("deleting the SpanCap guard from tilingOK produced no serialonly diagnostic")
+		t.Fatal("deleting the CrossTraffic guard from serialReason produced no serialonly diagnostic")
 	}
 	var hit bool
 	for _, d := range diags {
-		if strings.Contains(d.Message, "SpanCap") {
+		if strings.Contains(d.Message, "CrossTraffic") {
 			hit = true
 		}
 	}
 	if !hit {
-		t.Errorf("no diagnostic names the unguarded SpanCap field:\n%v", diags)
+		t.Errorf("no diagnostic names the unguarded CrossTraffic field:\n%v", diags)
 	}
 }
 

@@ -63,6 +63,15 @@ type Config struct {
 	// for timeline export.
 	SpanCap int
 
+	// CritPath enables the critical-path profiler: causal edges (message
+	// send→receive, miss→fill, directory txn begin→grant, barrier
+	// arrive→release) are recorded into bounded per-tile rings, and the
+	// post-run pass attributes every cycle of the last-finishing
+	// processor's timeline to {compute, mem stall, net latency, net
+	// bandwidth, sync} in Result.CritPath. Purely passive — enabling it
+	// never changes simulated timing.
+	CritPath bool
+
 	// FaultSpec, if nonempty, enables deterministic fault injection (see
 	// fault.Parse for the grammar). Kept as the canonical spec string —
 	// not a parsed struct — so Config stays comparable for the sweep
@@ -147,37 +156,60 @@ func (c Config) TileCount() int {
 	return maxTiles
 }
 
-// tilingOK reports whether this config can run on the tiled engine. The
-// observability paths (metrics, tracing, span capture), cross-traffic
-// generators, the ideal-network emulation, and stochastic injection
-// (jittered faults and every noise clause) all assume one serial event
-// loop; such configs keep the serial engine rather than grow locks.
-// Outage and stall-window faults are fine: their injector is read-only
-// per packet with atomic counters.
-func (c Config) tilingOK() bool {
-	if c.TileCount() < 2 || c.HopLatency <= 0 {
-		return false
+// serialReason returns the name of the first Config field that forces
+// the serial engine, or "" when the tiled engine can run this config.
+// Cross-traffic generators, the ideal-network emulation, and stochastic
+// injection (jittered faults and every noise clause) all assume one
+// serial event loop; such configs keep the serial engine rather than
+// grow locks. Outage and stall-window faults are fine: their injector is
+// read-only per packet with atomic counters. The observability paths
+// (metrics, tracing, spans, critical path) are shard-safe: instruments
+// are tile-owned or merged from per-tile scratch after the run (see the
+// tilingSafe manifest).
+func (c Config) serialReason() string {
+	if c.TileCount() < 2 {
+		return "Height"
 	}
-	if c.Metrics || c.SpanCap > 0 || c.TraceCap > 0 {
-		return false
+	if c.HopLatency <= 0 {
+		return "HopLatency"
 	}
-	if c.CrossTraffic.BytesPerCycle > 0 || c.IdealNetOneWayCycles > 0 {
-		return false
+	if c.CrossTraffic.BytesPerCycle > 0 {
+		return "CrossTraffic"
+	}
+	if c.IdealNetOneWayCycles > 0 {
+		return "IdealNetOneWayCycles"
 	}
 	if c.NoiseSpec != "" {
 		// Noise draws from seeded streams in event order — an ordering
 		// only the serial loop provides — and one-shot delays latch state.
-		return false
+		return "NoiseSpec"
 	}
 	if c.FaultSpec != "" {
 		fc, err := fault.Parse(c.FaultSpec)
 		if err != nil || fc.Stochastic() {
 			// Jitter draws from one RNG stream in global packet-send order,
 			// an ordering only the serial loop provides.
-			return false
+			return "FaultSpec"
 		}
 	}
-	return true
+	return ""
+}
+
+// tilingOK reports whether this config can run on the tiled engine.
+func (c Config) tilingOK() bool { return c.serialReason() == "" }
+
+// SerialReason names why a config runs on the serial engine — the
+// Shards policy ("Shards" for a forced serial engine, "AutoShardNodes"
+// below the automatic threshold) or the first model field tilingOK
+// rejects — mirroring Tiled's decision order. Empty for tiled configs.
+func (c Config) SerialReason() string {
+	if c.Shards < 0 {
+		return "Shards"
+	}
+	if c.Shards == 0 && c.Nodes() < AutoShardNodes {
+		return "AutoShardNodes"
+	}
+	return c.serialReason()
 }
 
 // Tiled reports whether this config runs on the tiled engine.
@@ -268,14 +300,26 @@ type Machine struct {
 	ExtraEv stats.Events
 
 	// Trace holds the last Cfg.TraceCap events when tracing is enabled.
+	// Under the tiled engine events are recorded into per-tile rings and
+	// Trace is nil until Run merges them (use TraceFor to record during
+	// the run).
 	Trace *trace.Buffer
 
 	// Obs is the metrics registry when Cfg.Metrics is set; nil otherwise.
+	// Instruments are tile-owned or per-tile scratch; the registry is
+	// complete once Run returns.
 	Obs *obs.Registry
 
 	// Spans holds the last Cfg.SpanCap thread-state spans when span
-	// recording is enabled; nil otherwise.
+	// recording is enabled; nil otherwise. Under the tiled engine each
+	// tile's engine records into its own ring and Spans is nil until Run
+	// merges them.
 	Spans *obs.SpanBuffer
+
+	// Crit is the critical-path recorder when Cfg.CritPath is set; nil
+	// otherwise. Its per-node slots and per-tile edge rings are safe to
+	// record into from any node's engine context.
+	Crit *obs.CritRecorder
 
 	// Faults is the live fault injector; nil unless Cfg.FaultSpec is set.
 	Faults *fault.Injector
@@ -291,6 +335,23 @@ type Machine struct {
 
 	engs   []*sim.Engine // tiled: engs[b] executes band b; nil for serial
 	tileOf []int         // tiled: node -> band of the node's row
+
+	// Per-tile observability rings (tiled runs only): index b is written
+	// only by band b's engine and merged into Trace/Spans after the run.
+	tileTraces []*trace.Buffer
+	tileSpans  []*obs.SpanBuffer
+}
+
+// TraceFor returns the trace buffer node's events should be recorded
+// into, or nil when tracing is disabled: the shared buffer on the serial
+// engine, the node's tile ring under the tiled engine. Layers that trace
+// from processor context (the synchronization library) must route
+// through this so every ring keeps a single writer.
+func (m *Machine) TraceFor(node int) *trace.Buffer {
+	if m.tileTraces != nil {
+		return m.tileTraces[m.tileOf[node]]
+	}
+	return m.Trace
 }
 
 // EngineFor returns the engine that executes node's events: the serial
@@ -375,9 +436,21 @@ func New(cfg Config) *Machine {
 		msys.SetIdealNetwork(clk.Cycles(cfg.IdealNetOneWayCycles))
 	}
 	if cfg.TraceCap > 0 {
-		m.Trace = trace.New(cfg.TraceCap)
-		msys.SetTrace(m.Trace)
-		asys.SetTrace(m.Trace)
+		if grp != nil {
+			// Per-tile rings, each sized like the final buffer so the
+			// merged last-TraceCap events are a subset of what the tiles
+			// retain; Run merges them into m.Trace.
+			m.tileTraces = make([]*trace.Buffer, len(m.engs))
+			for i := range m.tileTraces {
+				m.tileTraces[i] = trace.New(cfg.TraceCap)
+			}
+			msys.SetTraceShards(m.TraceFor)
+			asys.SetTraceShards(m.TraceFor)
+		} else {
+			m.Trace = trace.New(cfg.TraceCap)
+			msys.SetTrace(m.Trace)
+			asys.SetTrace(m.Trace)
+		}
 	}
 	if cfg.Metrics {
 		m.Obs = obs.NewRegistry()
@@ -386,13 +459,30 @@ func New(cfg Config) *Machine {
 		asys.SetMetrics(m.Obs)
 	}
 	if cfg.SpanCap > 0 {
-		m.Spans = obs.NewSpanBuffer(cfg.SpanCap)
-		eng.SetSpanObserver(func(th *sim.Thread, start, end sim.Time, blocked bool, reason string, arg int64) {
-			m.Spans.Record(obs.Span{
-				Thread: th.Name(), Start: start, End: end,
-				Blocked: blocked, Reason: reason, Arg: arg,
-			})
-		})
+		record := func(b *obs.SpanBuffer) func(th *sim.Thread, start, end sim.Time, blocked bool, reason string, arg int64) {
+			return func(th *sim.Thread, start, end sim.Time, blocked bool, reason string, arg int64) {
+				b.Record(obs.Span{
+					Thread: th.Name(), Start: start, End: end,
+					Blocked: blocked, Reason: reason, Arg: arg,
+				})
+			}
+		}
+		if grp != nil {
+			// One ring per tile, owned by that tile's engine; Run merges
+			// them into m.Spans.
+			m.tileSpans = make([]*obs.SpanBuffer, len(m.engs))
+			for i, e := range m.engs {
+				m.tileSpans[i] = obs.NewSpanBuffer(cfg.SpanCap)
+				e.SetSpanObserver(record(m.tileSpans[i]))
+			}
+		} else {
+			m.Spans = obs.NewSpanBuffer(cfg.SpanCap)
+			eng.SetSpanObserver(record(m.Spans))
+		}
+	}
+	if cfg.CritPath {
+		m.Crit = obs.NewCritRecorder(cfg.Nodes(), m.tileOf, obs.DefaultCritEdgeCap)
+		msys.SetCritPath(m.Crit)
 	}
 	if cfg.FaultSpec != "" {
 		fc, err := fault.Parse(cfg.FaultSpec)
@@ -445,6 +535,18 @@ type Result struct {
 	// settings). Zero means the serial engine ran.
 	Tiles   int
 	Windows uint64
+
+	// SerialReason names the Config field that forced the serial engine
+	// when the model itself rules tiling out (tilingOK); empty for tiled
+	// runs and for serial runs chosen purely by the Shards policy, which
+	// is not part of the memo key (see Config.SerialReason for the
+	// policy-aware answer).
+	SerialReason string
+
+	// CritPath is the critical-path attribution when Cfg.CritPath is
+	// set; nil otherwise. All fields exported so it survives JSON
+	// round-trips (disk cache, runlog).
+	CritPath *obs.CritStats
 
 	// DoneCycles records when each processor's body returned, in cycles.
 	// The per-node completion profile is what the delay-propagation
@@ -519,6 +621,21 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	if err := m.Mem.CheckInvariants(true); err != nil {
 		panic(fmt.Sprintf("machine: post-run %v", err))
 	}
+	// Fold per-tile observability state now that the tile engines have
+	// joined: scratch instruments into the registry, per-tile rings into
+	// the machine-wide buffers. Merges are deterministic (commutative
+	// sums; timestamp-ordered stable sorts), so snapshots are identical
+	// at every worker count.
+	if m.Obs != nil {
+		m.Net.FinishMetrics()
+		m.Mem.FinishMetrics()
+	}
+	if m.tileTraces != nil {
+		m.Trace = trace.Merge(m.Cfg.TraceCap, m.tileTraces...)
+	}
+	if m.tileSpans != nil {
+		m.Spans = obs.MergeSpans(m.Cfg.SpanCap, m.tileSpans...)
+	}
 	res := Result{
 		Time:    m.finish,
 		Cycles:  m.Clk.ToCycles(m.finish),
@@ -539,6 +656,19 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	if m.Grp != nil {
 		res.Tiles = m.Grp.Tiles()
 		res.Windows = m.Grp.Windows()
+	} else {
+		res.SerialReason = m.Cfg.serialReason()
+	}
+	if m.Crit != nil {
+		// The critical path of a barrier-terminated SPMD run is the
+		// last-finishing processor's timeline (ties: lowest ID).
+		crit := 0
+		for i, p := range m.Procs {
+			if p.doneAt > m.Procs[crit].doneAt {
+				crit = i
+			}
+		}
+		res.CritPath = m.Crit.Summarize(m.Clk, crit, m.Procs[crit].BD, critTopEdges)
 	}
 	res.Bisection = m.Net.Config().BisectionBytesPerCycle(m.Clk)
 	//lint:allow simlint/intmath result-reporting field (Figure 8 x-axis); computed after the run ends
@@ -591,6 +721,9 @@ func (m *Machine) diagnose(kind sim.StallKind) *sim.StallError {
 
 // maxDumpNotes bounds each subsystem's contribution to a stall dump.
 const maxDumpNotes = 8
+
+// critTopEdges bounds the longest-edge summary carried in Result.CritPath.
+const critTopEdges = 5
 
 // enrich appends subsystem diagnostics to an engine stall error.
 func (m *Machine) enrich(se *sim.StallError) *sim.StallError {

@@ -1,0 +1,230 @@
+package machine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/am"
+)
+
+// pingRing runs a paced neighbor ping-pong under cfg: every processor
+// sends msgs messages around the ring and consumes the msgs aimed at it.
+// The traffic is light enough never to congest a link, so the serial and
+// tiled engines execute identical schedules and every observability
+// total is engine-independent.
+func pingRing(t *testing.T, cfg Config, msgs int) (*Machine, Result) {
+	t.Helper()
+	m := New(cfg)
+	n := cfg.Nodes()
+	arrived := make([]int, n)
+	h := m.AM.Register(func(c *am.Ctx, args []int64, vals []float64) {
+		arrived[c.Node]++
+	})
+	res := m.Run(func(p *Proc) {
+		p.SetRecvMode(RecvPoll)
+		for i := 0; i < msgs; i++ {
+			p.Send((p.ID+1)%n, h, nil, nil)
+			p.Compute(200)
+		}
+		for arrived[p.ID] < msgs {
+			p.WaitAndHandle()
+		}
+	})
+	return m, res
+}
+
+// TestObsOverflowTotalsMatchSerial overflows deliberately tiny per-tile
+// trace and span rings on a multi-tile run and checks the drop
+// accounting against the serial engine: totals (and therefore drops =
+// total - retained) count every event that ever hit a ring, not just
+// the survivors, so they must agree exactly however the rings are
+// sharded.
+func TestObsOverflowTotalsMatchSerial(t *testing.T) {
+	const msgs = 8
+	base := DefaultConfig()
+	base.TraceCap = 16 // << 2 * msgs * nodes events: every ring overflows
+	base.SpanCap = 8   // << spans per tile: every ring evicts
+
+	run := func(shards int) (total, retained, spanTotal, spanKept int64, tiles int) {
+		cfg := base
+		cfg.Shards = shards
+		m, res := pingRing(t, cfg, msgs)
+		if m.Trace == nil || m.Spans == nil {
+			t.Fatalf("shards=%d: observability buffers missing after Run", shards)
+		}
+		return m.Trace.Total(), int64(len(m.Trace.Events())),
+			m.Spans.Total(), int64(len(m.Spans.Spans())), res.Tiles
+	}
+
+	sTotal, sKept, sSpanTotal, sSpanKept, sTiles := run(-1)
+	if sTiles != 0 {
+		t.Fatalf("Shards=-1 ran tiled")
+	}
+	wantEvents := int64(2 * msgs * base.Nodes()) // one send + one recv per message
+	if sTotal != wantEvents {
+		t.Fatalf("serial trace total = %d, want %d", sTotal, wantEvents)
+	}
+	if sKept != int64(base.TraceCap) {
+		t.Fatalf("serial trace retained %d events, want the full cap %d", sKept, base.TraceCap)
+	}
+	if sSpanTotal <= int64(base.SpanCap) {
+		t.Fatalf("serial span total = %d; the test needs eviction (cap %d)", sSpanTotal, base.SpanCap)
+	}
+
+	for _, shards := range []int{1, 2} {
+		total, kept, spanTotal, spanKept, tiles := run(shards)
+		if tiles < 2 {
+			t.Fatalf("shards=%d: run used %d tiles, want a multi-tile engine", shards, tiles)
+		}
+		if total != sTotal || kept != sKept {
+			t.Errorf("shards=%d: trace total/retained = %d/%d, serial %d/%d",
+				shards, total, kept, sTotal, sKept)
+		}
+		if spanTotal != sSpanTotal || spanKept != sSpanKept {
+			t.Errorf("shards=%d: span total/retained = %d/%d, serial %d/%d",
+				shards, spanTotal, spanKept, sSpanTotal, sSpanKept)
+		}
+	}
+}
+
+// critChain runs a message pipeline: node 0 computes and sends, every
+// other node blocks for its predecessor's message before computing and
+// forwarding. Every node past 0 takes a genuine awaited-message stall,
+// so the critical path (the last node) is built from send→receive edges.
+func critChain(t *testing.T, cfg Config) (*Machine, Result) {
+	t.Helper()
+	m := New(cfg)
+	n := cfg.Nodes()
+	arrived := make([]int, n)
+	h := m.AM.Register(func(c *am.Ctx, args []int64, vals []float64) {
+		arrived[c.Node]++
+	})
+	res := m.Run(func(p *Proc) {
+		p.SetRecvMode(RecvPoll)
+		if p.ID > 0 {
+			for arrived[p.ID] == 0 {
+				p.WaitAndHandle()
+			}
+		}
+		p.Compute(500)
+		if p.ID < n-1 {
+			p.Send(p.ID+1, h, nil, nil)
+		}
+	})
+	return m, res
+}
+
+// TestCritPathExhaustiveAndDeterministic checks the attribution
+// invariant — the five categories partition the critical processor's
+// cycles exactly, with nothing negative and nothing left over — and
+// that profiling the same run twice yields the identical summary.
+func TestCritPathExhaustiveAndDeterministic(t *testing.T) {
+	run := func() (Result, *Machine) {
+		cfg := DefaultConfig()
+		cfg.Shards = 2
+		cfg.CritPath = true
+		m, res := critChain(t, cfg)
+		return res, m
+	}
+	res, m := run()
+	cp := res.CritPath
+	if cp == nil {
+		t.Fatal("CritPath config produced no summary")
+	}
+	if cp.TotalCycles <= 0 {
+		t.Fatalf("critical path total = %d cycles", cp.TotalCycles)
+	}
+	sum := cp.Compute + cp.MemStall + cp.NetLatency + cp.NetBandwidth + cp.Sync
+	if sum != cp.TotalCycles {
+		t.Errorf("categories sum to %d, total is %d: attribution is not exhaustive", sum, cp.TotalCycles)
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{{"compute", cp.Compute}, {"mem_stall", cp.MemStall}, {"net_latency", cp.NetLatency},
+		{"net_bandwidth", cp.NetBandwidth}, {"sync", cp.Sync}} {
+		if c.v < 0 {
+			t.Errorf("category %s = %d, negative", c.name, c.v)
+		}
+	}
+	// The pipeline's last node waited on a real message: the profiler
+	// must see network latency on the critical path, and the send→receive
+	// edges feeding it.
+	if cp.NetLatency == 0 {
+		t.Error("pipeline workload shows zero net_latency on the critical path")
+	}
+	if cp.EdgesTotal == 0 || len(cp.TopEdges) == 0 {
+		t.Errorf("no causal edges recorded (total=%d, top=%d)", cp.EdgesTotal, len(cp.TopEdges))
+	}
+	if m.Crit == nil || len(m.Crit.Edges()) == 0 {
+		t.Error("machine exposes no merged edge stream")
+	}
+
+	res2, m2 := run()
+	if !reflect.DeepEqual(res.CritPath, res2.CritPath) {
+		t.Errorf("critical-path summary not deterministic:\n1: %+v\n2: %+v", res.CritPath, res2.CritPath)
+	}
+	if !reflect.DeepEqual(m.Crit.Edges(), m2.Crit.Edges()) {
+		t.Error("merged edge stream not deterministic across identical runs")
+	}
+}
+
+// TestSerialReasonInResult pins the Result-side fallback report: tiled
+// runs carry no reason, and a config the tiled engine cannot execute
+// names the offending field. The Shards policy itself is deliberately
+// excluded (Result is memoized across Shards values; the policy-aware
+// string lives in Config.SerialReason and the runlog).
+func TestSerialReasonInResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	_, res := pingRing(t, cfg, 2)
+	if res.SerialReason != "" || res.Tiles == 0 {
+		t.Errorf("tiled run: tiles=%d serial_reason=%q", res.Tiles, res.SerialReason)
+	}
+
+	ideal := DefaultConfig()
+	ideal.Shards = 2
+	ideal.IdealNetOneWayCycles = 50
+	_, res = pingRing(t, ideal, 2)
+	if res.Tiles != 0 || res.SerialReason != "IdealNetOneWayCycles" {
+		t.Errorf("ideal-net run: tiles=%d serial_reason=%q, want serial with IdealNetOneWayCycles",
+			res.Tiles, res.SerialReason)
+	}
+
+	if got := ideal.SerialReason(); got != "IdealNetOneWayCycles" {
+		t.Errorf("Config.SerialReason() = %q, want IdealNetOneWayCycles", got)
+	}
+	forced := DefaultConfig()
+	forced.Shards = -1
+	if got := forced.SerialReason(); got != "Shards" {
+		t.Errorf("Config.SerialReason() on forced-serial = %q, want Shards", got)
+	}
+}
+
+// TestMetricsSnapshotIdenticalAcrossWorkers is the registry half of the
+// shard-safety proof at machine level: the rendered metrics snapshot is
+// byte-identical at 1, 2, and 4 workers.
+func TestMetricsSnapshotIdenticalAcrossWorkers(t *testing.T) {
+	snap := func(shards int) []byte {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		cfg.Metrics = true
+		m, res := pingRing(t, cfg, 6)
+		if res.Tiles == 0 {
+			t.Fatalf("shards=%d: run was not tiled", shards)
+		}
+		var buf bytes.Buffer
+		if err := m.Obs.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := snap(1)
+	for _, shards := range []int{2, 4} {
+		if got := snap(shards); !bytes.Equal(ref, got) {
+			t.Errorf("metrics snapshot at %d workers differs from 1 worker:\n--- 1\n%s\n--- %d\n%s",
+				shards, ref, shards, got)
+		}
+	}
+}

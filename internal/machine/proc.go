@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -178,11 +179,53 @@ func (p *Proc) WaitAndHandle() int {
 		p.th.SetWaitReason("await-message", 0)
 		p.th.Pause()
 		p.BD.Add(stats.BucketSync, p.th.Now()-start)
+		if p.M.Crit != nil {
+			p.critMsgWait(start, p.th.Now())
+		}
 	}
 	if p.mode == RecvPoll {
 		return p.Poll()
 	}
 	return p.M.AM.DrainInterrupts(p.th, p.ID, &p.BD)
+}
+
+// critMsgWait decomposes an awaited-message wait [start, end) for the
+// critical-path recorder and emits the send→receive edge. The wake fires
+// at the waking message's arrival, so end is its arrival time; the wait
+// before the sender injected it stays synchronization (waiting for the
+// sender to produce), and the in-network interval splits into uncongested
+// flight time (network latency) and the serialization/queueing remainder
+// (network bandwidth).
+func (p *Proc) critMsgWait(start, end sim.Time) {
+	src, sent, _, ok := p.M.AM.LastArrival(p.ID)
+	if !ok {
+		return
+	}
+	transitStart := sent
+	if transitStart < start {
+		// The message was already in flight when the wait began; only the
+		// overlap was spent waiting on the network.
+		transitStart = start
+	}
+	transit := end - transitStart
+	if transit < 0 {
+		transit = 0
+	}
+	var latRaw sim.Time
+	if src == p.ID {
+		latRaw = p.M.Clk.Cycles(2) // NI loopback (see am inject)
+	} else {
+		latRaw = sim.Time(p.M.Net.Hops(src, p.ID)+1) * p.M.Cfg.HopLatency
+	}
+	lat := latRaw
+	if lat > transit {
+		lat = transit
+	}
+	p.M.Crit.MsgWait(p.ID, lat, transit-lat)
+	p.M.Crit.Edge(p.ID, obs.CritEdge{
+		Kind: "msg", Src: src, Dst: p.ID,
+		Start: sent, End: end, Lat: lat, BW: transit - lat,
+	})
 }
 
 // HandlePending receives any already-queued messages without blocking.

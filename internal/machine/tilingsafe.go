@@ -21,6 +21,10 @@ var tilingSafe = map[string]string{
 	"AM":                   "active-message costs are per-node cycle counts; delivery crosses tiles only through mailboxes",
 	"PrefetchIssueCycles":  "local processor issue cost; never observed off-node",
 	"InterruptCheckCycles": "local processor polling cadence; never observed off-node",
+	"Metrics":              "instruments are tile-owned (per-node/per-link, single writer) or per-tile scratch merged commutatively after the run; passive either way",
+	"TraceCap":             "protocol events are recorded into per-tile rings at node context and merged by timestamp after the run; passive",
+	"SpanCap":              "spans are recorded into per-tile rings by each tile's own engine observer and merged by end time after the run; passive",
+	"CritPath":             "per-node accumulator slots and per-tile edge rings are single-writer at node context, merged after the run; passive",
 	"FaultSeed":            "meaningful only with FaultSpec, whose stochastic clauses tilingOK already forces serial",
 	"NoiseSeed":            "meaningful only with NoiseSpec, which tilingOK already forces serial",
 	"EventLimit":           "runaway-dispatch guard, not a model parameter; both engines count dispatched events",

@@ -45,7 +45,10 @@ type System struct {
 	idealNet    bool
 	idealOneWay sim.Time
 
-	tr *trace.Buffer // optional event trace
+	// trOf, when non-nil, routes trace events to the recording node's
+	// buffer. Serial runs route every node to one shared buffer; tiled
+	// runs hand out per-tile buffers so recording stays single-writer.
+	trOf func(node int) *trace.Buffer
 
 	// Instruments, allocated by SetMetrics; nil when metrics are
 	// disabled. Purely passive.
@@ -55,6 +58,26 @@ type System struct {
 	mDirBusy  []*obs.Gauge   // high-water concurrently busy directory entries per home
 	mTxnOut   []*obs.Gauge   // high-water outstanding miss transactions per node
 	mTxnTotal *obs.Counter   // miss transactions started
+	// mScratch is per-node scratch for the machine-wide instruments
+	// above (miss histograms, transaction counter): recording sites run
+	// at the node's engine, so each slot has a single writer, and
+	// FinishMetrics folds the scratch into the registered instruments
+	// after the run. Merge order is immaterial (commutative), so
+	// snapshots are byte-identical at every worker count.
+	//lint:tileowned
+	mScratch []memScratch
+
+	// crit, when non-nil, receives the critical-path decomposition of
+	// miss waits and the miss/txn causal edges. All recording happens at
+	// the waiting node's (or home's) engine context, so it is tile-safe
+	// like mScratch.
+	crit *obs.CritRecorder
+}
+
+// memScratch is one node's share of the machine-wide memory instruments.
+type memScratch struct {
+	missRd, missWr, missPf obs.Histogram
+	txns                   int64
 }
 
 // SetMetrics registers the memory system's instruments on reg and begins
@@ -78,10 +101,45 @@ func (s *System) SetMetrics(reg *obs.Registry) {
 		s.mDirBusy[i] = reg.Gauge("mem_dir_busy_hw", l)
 		s.mTxnOut[i] = reg.Gauge("mem_txn_outstanding_hw", l)
 	}
+	s.mScratch = make([]memScratch, len(s.nodes))
 }
 
-// SetTrace attaches an event trace buffer (nil disables tracing).
-func (s *System) SetTrace(tr *trace.Buffer) { s.tr = tr }
+// FinishMetrics folds the per-node scratch into the registered
+// machine-wide instruments. Call once after the run, before reading
+// snapshots; single-threaded (the tile engines have joined by then).
+func (s *System) FinishMetrics() {
+	if s.mScratch == nil {
+		return
+	}
+	for i := range s.mScratch {
+		sc := &s.mScratch[i]
+		s.mMissRd.Merge(&sc.missRd)
+		s.mMissWr.Merge(&sc.missWr)
+		s.mMissPf.Merge(&sc.missPf)
+		s.mTxnTotal.Add(sc.txns)
+		*sc = memScratch{}
+	}
+}
+
+// SetTrace attaches an event trace buffer shared by all nodes (nil
+// disables tracing). Serial engine only — for tiled runs use
+// SetTraceShards.
+func (s *System) SetTrace(tr *trace.Buffer) {
+	if tr == nil {
+		s.trOf = nil
+		return
+	}
+	s.trOf = func(int) *trace.Buffer { return tr }
+}
+
+// SetTraceShards attaches a per-node trace routing function; under the
+// tiled engine it must return the recording node's own tile buffer so
+// every buffer keeps a single writer.
+func (s *System) SetTraceShards(trOf func(node int) *trace.Buffer) { s.trOf = trOf }
+
+// SetCritPath attaches a critical-path recorder (nil disables). Purely
+// passive: recording never perturbs protocol timing.
+func (s *System) SetCritPath(cr *obs.CritRecorder) { s.crit = cr }
 
 // nodeMem is the per-node memory-side state.
 type nodeMem struct {
@@ -430,17 +488,17 @@ func (s *System) installLine(node int, line Addr, st lineState, gen uint64) {
 //lint:tilelocal node
 func (s *System) startTxn(node int, line Addr, write, prefetch bool) *txn {
 	eng := s.engAt(node)
-	if s.tr != nil {
+	if s.trOf != nil {
 		w := int64(0)
 		if write {
 			w = 1
 		}
-		s.tr.Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissStart, A: int64(line), B: w})
+		s.trOf(node).Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissStart, A: int64(line), B: w})
 	}
 	t := &txn{line: line, write: write, node: node, prefetch: prefetch, start: eng.Now()}
 	s.nodes[node].pending[line] = t
-	if s.mTxnTotal != nil {
-		s.mTxnTotal.Inc()
+	if len(s.mScratch) > 0 {
+		s.mScratch[node].txns++
 		s.mTxnOut[node].SetMax(int64(len(s.nodes[node].pending)))
 	}
 	home := s.lineHome(line)
@@ -643,8 +701,8 @@ func (s *System) invalidateAt(node int, line Addr, ack func()) {
 		})
 		return
 	}
-	if s.tr != nil {
-		s.tr.Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KInval, A: int64(line)})
+	if s.trOf != nil {
+		s.trOf(node).Add(trace.Event{At: s.engAt(node).Now(), Node: node, Kind: trace.KInval, A: int64(line)})
 	}
 	nm.cache.invalidate(line)
 	ack()
@@ -753,6 +811,11 @@ func (s *System) grant(home, req int, line Addr, write bool, t *txn, extra sim.T
 //lint:tilelocal home
 func (s *System) grantState(home, req int, line Addr, st lineState, t *txn, extra sim.Time) {
 	t.granted = true
+	if s.crit != nil {
+		// Directory txn begin→grant edge, recorded at the home (the grant
+		// side); the requester-side view is the later miss→fill edge.
+		s.crit.Edge(home, obs.CritEdge{Kind: "txn", Src: t.node, Dst: home, Start: t.start, End: s.engAt(home).Now()})
+	}
 	delay := s.cyc(s.par.DRAMCycles) + extra
 	if req == home {
 		// Local fill: no reply message; LocalMissCycles covers the DRAM
@@ -814,28 +877,78 @@ func (s *System) completeTxn(node int, line Addr, st lineState, t *txn) {
 		s.installLine(node, line, st, t.gen)
 	}
 	delete(nm.pending, line)
-	if s.mMissRd != nil {
+	if len(s.mScratch) > 0 {
 		lat := s.clk.ToCycles(eng.Now() - t.start)
 		switch {
 		case t.prefetch:
-			s.mMissPf.Observe(lat)
+			s.mScratch[node].missPf.Observe(lat)
 		case t.write:
-			s.mMissWr.Observe(lat)
+			s.mScratch[node].missWr.Observe(lat)
 		default:
-			s.mMissRd.Observe(lat)
+			s.mScratch[node].missRd.Observe(lat)
 		}
 	}
-	if s.tr != nil {
-		s.tr.Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissEnd, A: int64(line)})
+	if s.trOf != nil {
+		s.trOf(node).Add(trace.Event{At: eng.Now(), Node: node, Kind: trace.KMissEnd, A: int64(line)})
 	}
 	for _, f := range t.onComplete {
 		f()
 	}
 	now := eng.Now()
+	if s.crit != nil {
+		s.critComplete(node, line, t, now)
+	}
 	for _, w := range t.waiters {
 		w.bd.Add(w.bucket, now-w.start)
 		w.th.WakeAt(now)
 	}
+}
+
+// critComplete decomposes a completed transaction's waits for the
+// critical-path recorder and emits the miss→fill edge. The wait interval
+// is split in priority order: up to the uncongested round-trip flight
+// time is network latency, up to the protocol's fixed cycle cost stays
+// memory stall, and the remainder — serialization, queueing, directory
+// occupancy, invalidation rounds — is network bandwidth/occupancy.
+// Waits charged to buckets other than mem-wait (synchronization spins)
+// are left whole, matching the paper's bucket convention.
+//
+//lint:tilelocal node
+func (s *System) critComplete(node int, line Addr, t *txn, now sim.Time) {
+	home := s.lineHome(line)
+	var latRaw, fixed sim.Time
+	switch {
+	case s.idealNet:
+		latRaw = 2 * s.idealOneWay
+		fixed = s.cyc(s.par.ReqCycles + s.par.DRAMCycles + s.par.FillCycles)
+	case node == home:
+		fixed = s.cyc(s.par.LocalMissCycles)
+	default:
+		hops := sim.Time(s.net.Hops(node, home) + 1)
+		latRaw = 2 * hops * s.net.Config().HopLatency
+		fixed = s.cyc(s.par.ReqCycles + s.par.HomeOccCycles + s.par.DRAMCycles + s.par.FillCycles)
+	}
+	split := func(d sim.Time) (lat, bw sim.Time) {
+		lat = latRaw
+		if lat > d {
+			lat = d
+		}
+		rem := d - lat
+		st := fixed
+		if st > rem {
+			st = rem
+		}
+		return lat, rem - st
+	}
+	for _, w := range t.waiters {
+		if w.bucket != stats.BucketMemWait {
+			continue
+		}
+		lat, bw := split(now - w.start)
+		s.crit.MissWait(node, lat, bw)
+	}
+	lat, bw := split(now - t.start)
+	s.crit.Edge(node, obs.CritEdge{Kind: "miss", Src: home, Dst: node, Start: t.start, End: now, Lat: lat, BW: bw})
 }
 
 // writeback returns a dirty evicted line to its home. gen is the

@@ -167,6 +167,12 @@ type Network struct {
 	mBusy  [4][]*obs.Counter // serialization time per link, ps
 	mWait  [4][]*obs.Gauge   // high-water head wait (queueing delay), ps
 	mQueue *obs.Histogram    // head wait distribution across all hops, ps
+	// mQBand is per-band scratch for mQueue: every link is reserved only
+	// by its owning band's engine, so each scratch histogram has a single
+	// writer, and FinishMetrics folds them into mQueue after the run
+	// (merge is commutative, so the snapshot is identical at every worker
+	// count). Indexed like bc.
+	mQBand []obs.Histogram
 }
 
 // bandCounters is one row band's share of the network's traffic
@@ -248,6 +254,20 @@ func (n *Network) SetMetrics(reg *obs.Registry) {
 		}
 	}
 	n.mQueue = reg.Histogram("mesh_hop_wait_ps", "")
+	n.mQBand = make([]obs.Histogram, len(n.bc))
+}
+
+// FinishMetrics folds per-band scratch instruments into the registered
+// registry entries. Call once after the run, before reading snapshots;
+// single-threaded (the tile engines have joined by then).
+func (n *Network) FinishMetrics() {
+	if n.mQueue == nil {
+		return
+	}
+	for i := range n.mQBand {
+		n.mQueue.Merge(&n.mQBand[i])
+		n.mQBand[i] = obs.Histogram{}
+	}
 }
 
 // New creates a mesh network. All endpoints default to AcceptAll.
@@ -313,6 +333,9 @@ func (n *Network) SetTiles(bandOfRow []int, engs []*sim.Engine) {
 	n.engs = append([]*sim.Engine(nil), engs...)
 	n.bandOfRow = append([]int(nil), bandOfRow...)
 	n.bc = make([]bandCounters, len(engs))
+	if n.mQueue != nil {
+		n.mQBand = make([]obs.Histogram, len(engs))
+	}
 }
 
 // bandOf returns the band owning a node's row.
@@ -447,7 +470,7 @@ func (n *Network) walkFrom(band int, wk *walk) {
 		if !ok {
 			break
 		}
-		wk.head = n.reserve(d, idx, wk.head, wk.size)
+		wk.head = n.reserve(band, d, idx, wk.head, wk.size)
 		if wk.first {
 			wk.depart, wk.first = wk.head-n.cfg.HopLatency, false
 		}
@@ -579,8 +602,10 @@ func (n *Network) yFirstFreer(x, y, dx, dy int) bool {
 }
 
 // reserve occupies directed link (d, idx) from the head's arrival and
-// returns when the head reaches the next router.
-func (n *Network) reserve(d, idx int, head, size sim.Time) sim.Time {
+// returns when the head reaches the next router. band is the owning row
+// band (the caller's engine context), used to shard the hop-wait
+// histogram.
+func (n *Network) reserve(band, d, idx int, head, size sim.Time) sim.Time {
 	start := head
 	if bu := n.busyUntil[d][idx]; bu > start {
 		start = bu
@@ -597,7 +622,7 @@ func (n *Network) reserve(d, idx int, head, size sim.Time) sim.Time {
 		n.mBusy[d][idx].Add(int64(size))
 		wait := int64(start - head)
 		n.mWait[d][idx].SetMax(wait)
-		n.mQueue.Observe(wait)
+		n.mQBand[band].Observe(wait)
 	}
 	return start + n.cfg.HopLatency
 }

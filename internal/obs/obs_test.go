@@ -143,7 +143,7 @@ func TestWriteTimelineIsValidTraceEventJSON(t *testing.T) {
 	clk := sim.NewClock(20) // 50000 ps per cycle
 	spans, events := timelineInput()
 	var buf bytes.Buffer
-	if err := obs.WriteTimeline(&buf, clk, spans, events); err != nil {
+	if err := obs.WriteTimeline(&buf, clk, spans, events, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -194,13 +194,118 @@ func TestWriteTimelineByteIdentical(t *testing.T) {
 	clk := sim.NewClock(20)
 	spans, events := timelineInput()
 	var a, b bytes.Buffer
-	if err := obs.WriteTimeline(&a, clk, spans, events); err != nil {
+	if err := obs.WriteTimeline(&a, clk, spans, events, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := obs.WriteTimeline(&b, clk, spans, events); err != nil {
+	if err := obs.WriteTimeline(&b, clk, spans, events, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("two renders of the same input differ")
+	}
+}
+
+func TestMergeSpansOrdersTrimsAndCountsEvictions(t *testing.T) {
+	a, b := obs.NewSpanBuffer(4), obs.NewSpanBuffer(4)
+	for _, end := range []sim.Time{10, 30, 50, 70, 90} { // 5 into cap 4: first evicted
+		a.Record(obs.Span{Thread: "a", End: end})
+	}
+	for _, end := range []sim.Time{20, 40, 60} {
+		b.Record(obs.Span{Thread: "b", End: end})
+	}
+	m := obs.MergeSpans(4, a, b)
+	if m.Total() != 8 {
+		t.Errorf("merged total = %d, want 8 (evictions included)", m.Total())
+	}
+	got := m.Spans()
+	want := []sim.Time{50, 60, 70, 90}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d spans, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.End != want[i] {
+			t.Errorf("span %d ends at %d, want %d", i, s.End, want[i])
+		}
+	}
+	// Equal-End spans keep shard order (stable sort).
+	x, y := obs.NewSpanBuffer(2), obs.NewSpanBuffer(2)
+	x.Record(obs.Span{Thread: "x", End: 5})
+	y.Record(obs.Span{Thread: "y", End: 5})
+	tied := obs.MergeSpans(4, x, y).Spans()
+	if len(tied) != 2 || tied[0].Thread != "x" || tied[1].Thread != "y" {
+		t.Errorf("equal-End merge reordered spans: %+v", tied)
+	}
+}
+
+func TestHistogramMergeMatchesSingleWriter(t *testing.T) {
+	var whole, sa, sb obs.Histogram
+	for i, v := range []int64{0, 1, 3, 7, 100, 5000, 5000, 123456} {
+		whole.Observe(v)
+		if i%2 == 0 {
+			sa.Observe(v)
+		} else {
+			sb.Observe(v)
+		}
+	}
+	var merged obs.Histogram
+	merged.Merge(&sa)
+	merged.Merge(&sb)
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() || merged.Max() != whole.Max() {
+		t.Errorf("merged count/sum/max = %d/%d/%d, single-writer %d/%d/%d",
+			merged.Count(), merged.Sum(), merged.Max(), whole.Count(), whole.Sum(), whole.Max())
+	}
+	for i := 0; i < 65; i++ {
+		if merged.Bucket(i) != whole.Bucket(i) {
+			t.Errorf("bucket %d: merged %d, single-writer %d", i, merged.Bucket(i), whole.Bucket(i))
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h obs.Histogram
+	if h.P50() != 0 || h.P99() != 0 {
+		t.Error("empty histogram percentile not 0")
+	}
+	// 100 samples of 10 and one of 1000: p50 falls in 10's bucket
+	// (bit length 4, upper bound 15), p99 likewise, max is exact.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1000)
+	if got := h.P50(); got != 15 {
+		t.Errorf("P50 = %d, want 15 (upper bound of 10's power-of-two bucket)", got)
+	}
+	if got := h.P99(); got != 15 {
+		t.Errorf("P99 = %d, want 15", got)
+	}
+	if got := h.Percentile(1.0); got != 1000 {
+		t.Errorf("Percentile(1.0) = %d, want the exact max 1000", got)
+	}
+	// All-zero samples stay in bucket 0.
+	var z obs.Histogram
+	z.Observe(0)
+	z.Observe(0)
+	if z.P99() != 0 {
+		t.Errorf("all-zero P99 = %d, want 0", z.P99())
+	}
+}
+
+func TestFindHistogramDoesNotRegister(t *testing.T) {
+	r := obs.NewRegistry()
+	if r.FindHistogram("mesh_hop_wait_ps", "") != nil {
+		t.Error("FindHistogram invented an instrument")
+	}
+	if r.Len() != 0 {
+		t.Errorf("FindHistogram registered: len = %d", r.Len())
+	}
+	h := r.Histogram("mesh_hop_wait_ps", "")
+	h.Observe(7)
+	got := r.FindHistogram("mesh_hop_wait_ps", "")
+	if got != h {
+		t.Error("FindHistogram did not return the registered instrument")
+	}
+	r.Counter("messages", "")
+	if r.FindHistogram("messages", "") != nil {
+		t.Error("FindHistogram returned a counter as a histogram")
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // Counter is a monotonically increasing count.
@@ -80,6 +82,57 @@ func (h *Histogram) Max() int64 { return h.max }
 
 // Bucket returns the count in power-of-two bucket i.
 func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Merge folds o's samples into h. Bucket counts, count, and sum add and
+// max takes the larger value, all commutative and associative — merging
+// per-tile scratch histograms in any order yields byte-identical
+// snapshots to observing every sample into a single histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Percentile returns the nearest-rank p-quantile of the observed
+// samples. Samples are bucketed by power of two, so the result is the
+// upper bound of the bucket holding the nearest-rank sample, clamped to
+// the observed maximum (exact for p=1). Returns 0 when empty. The rank
+// convention matches stats.Summarize.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(stats.NearestRank(int(h.count), p))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			ub := h.max
+			if i < 63 {
+				ub = int64(1)<<uint(i) - 1
+			}
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// P50 returns the nearest-rank median (bucket upper bound).
+func (h *Histogram) P50() int64 { return h.Percentile(0.50) }
+
+// P99 returns the nearest-rank 99th percentile (bucket upper bound).
+func (h *Histogram) P99() int64 { return h.Percentile(0.99) }
 
 // metricKind tags the concrete type held by a registry entry.
 type metricKind int
@@ -163,6 +216,16 @@ func (r *Registry) Gauge(name, label string) *Gauge {
 // empty.
 func (r *Registry) Histogram(name, label string) *Histogram {
 	return r.lookup(name, label, kindHistogram).h
+}
+
+// FindHistogram returns the histogram registered under (name, label), or
+// nil if absent. Unlike Histogram it never registers, so post-run
+// consumers (telemetry) can probe a snapshot without mutating it.
+func (r *Registry) FindHistogram(name, label string) *Histogram {
+	if m, ok := r.index[name+"\x00"+label]; ok && m.kind == kindHistogram {
+		return m.h
+	}
+	return nil
 }
 
 // Len reports the number of registered instruments.

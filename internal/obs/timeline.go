@@ -18,13 +18,16 @@ import (
 // execution time (self-armed sleeps), named slices are blocked waits
 // labelled by their wait reason. Process 1 ("protocol") has one track
 // per node carrying the trace.Buffer events (miss-start/miss-end/inval/
-// msg-send/...) as instant events with their operands in args.
+// msg-send/...) as instant events with their operands in args. Process 2
+// ("critpath") has one track per destination node carrying recorded
+// causal edges (msg/miss/txn/barrier) as complete slices spanning
+// [Start, End), with the latency/bandwidth decomposition in args.
 //
 // Timestamps are emitted in processor cycles via clk (the JSON "ts"
 // field, nominally microseconds — read 1 us as 1 cycle). Output is
 // byte-identical for identical inputs: integers only, no floats, no map
 // iteration.
-func WriteTimeline(w io.Writer, clk sim.Clock, spans []Span, events []trace.Event) error {
+func WriteTimeline(w io.Writer, clk sim.Clock, spans []Span, events []trace.Event, edges []CritEdge) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n")
 	first := true
@@ -39,6 +42,9 @@ func WriteTimeline(w io.Writer, clk sim.Clock, spans []Span, events []trace.Even
 	emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":"threads"}}`)
 	if len(events) > 0 {
 		emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"protocol"}}`)
+	}
+	if len(edges) > 0 {
+		emit(`{"name":"process_name","ph":"M","pid":2,"args":{"name":"critpath"}}`)
 	}
 
 	// Assign thread track ids in order of first appearance, which is
@@ -82,6 +88,18 @@ func WriteTimeline(w io.Writer, clk sim.Clock, spans []Span, events []trace.Even
 			`,"ts":` + strconv.FormatInt(clk.ToCycles(e.At), 10) +
 			`,"args":{"a":` + strconv.FormatInt(e.A, 10) +
 			`,"b":` + strconv.FormatInt(e.B, 10) + `}}`)
+	}
+
+	for _, e := range edges {
+		ts := clk.ToCycles(e.Start)
+		dur := clk.ToCycles(e.End) - ts
+		emit(`{"name":` + strconv.Quote(e.Kind) +
+			`,"ph":"X","pid":2,"tid":` + strconv.Itoa(e.Dst) +
+			`,"ts":` + strconv.FormatInt(ts, 10) +
+			`,"dur":` + strconv.FormatInt(dur, 10) +
+			`,"args":{"src":` + strconv.Itoa(e.Src) +
+			`,"lat":` + strconv.FormatInt(clk.ToCycles(e.Lat), 10) +
+			`,"bw":` + strconv.FormatInt(clk.ToCycles(e.BW), 10) + `}}`)
 	}
 
 	bw.WriteString("\n]}\n")

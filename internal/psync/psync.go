@@ -6,13 +6,27 @@ import (
 	"repro/internal/am"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // traceEvent records a synchronization event when tracing is enabled.
+// TraceFor routes to the calling node's tile-local ring under the tiled
+// engine (the merged Machine.Trace only exists after Run).
 func traceEvent(m *machine.Machine, p *machine.Proc, kind trace.Kind, a, b int64) {
-	if m.Trace != nil {
-		m.Trace.Add(trace.Event{At: p.Now(), Node: p.ID, Kind: kind, A: a, B: b})
+	if tr := m.TraceFor(p.ID); tr != nil {
+		tr.Add(trace.Event{At: p.Now(), Node: p.ID, Kind: kind, A: a, B: b})
+	}
+}
+
+// critBarrier records a barrier arrive→release causal edge. The wait
+// itself is already charged to synchronization (with any in-network
+// portion reattributed by the miss/message wait hooks); the edge names
+// the dependency for the timeline lane and top-edge summary.
+func critBarrier(m *machine.Machine, p *machine.Proc, start sim.Time) {
+	if m.Crit != nil {
+		m.Crit.Edge(p.ID, obs.CritEdge{Kind: "barrier", Src: p.ID, Dst: p.ID, Start: start, End: p.Now()})
 	}
 }
 
@@ -92,6 +106,7 @@ func minInt(a, c int) int {
 // Wait blocks p until all processors have arrived.
 func (b *SMBarrier) Wait(p *machine.Proc) {
 	p.Ev.BarrierArrivals++
+	arriveAt := p.Now()
 	traceEvent(b.m, p, trace.KBarrier, 0, 0)
 	// Sense value for this episode, read before arriving. This must be a
 	// real load, not a backdoor peek: under release consistency the
@@ -106,6 +121,7 @@ func (b *SMBarrier) Wait(p *machine.Proc) {
 			backoff *= 2
 		}
 	}
+	critBarrier(b.m, p, arriveAt)
 }
 
 // arrive combines an arrival into tree node id, recursing upward when the
@@ -155,6 +171,7 @@ func NewSMCentralBarrier(m *machine.Machine) *SMCentralBarrier {
 // Wait blocks p until all processors have arrived.
 func (b *SMCentralBarrier) Wait(p *machine.Proc) {
 	p.Ev.BarrierArrivals++
+	arriveAt := p.Now()
 	myGen := p.ReadSync(b.gen) // forwarding load; see SMBarrier.Wait
 
 	last := p.RMWSync(b.counter, func(v float64) float64 { return v + 1 })
@@ -162,6 +179,7 @@ func (b *SMCentralBarrier) Wait(p *machine.Proc) {
 		p.WriteSync(b.counter, 0)
 		p.Fence() // release semantics under RC
 		p.WriteSync(b.gen, myGen+1)
+		critBarrier(b.m, p, arriveAt)
 		return
 	}
 	backoff := int64(10)
@@ -171,6 +189,7 @@ func (b *SMCentralBarrier) Wait(p *machine.Proc) {
 			backoff *= 2
 		}
 	}
+	critBarrier(b.m, p, arriveAt)
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +240,7 @@ func (b *MsgBarrier) children(id int) []int {
 // Wait blocks p until all processors have arrived.
 func (b *MsgBarrier) Wait(p *machine.Proc) {
 	p.Ev.BarrierArrivals++
+	arriveAt := p.Now()
 	id := p.ID
 	need := len(b.children(id))
 	for b.arrived[id] < need {
@@ -231,6 +251,7 @@ func (b *MsgBarrier) Wait(p *machine.Proc) {
 		for _, ch := range b.children(0) {
 			p.Send(ch, b.releaseH, nil, nil)
 		}
+		critBarrier(b.m, p, arriveAt)
 		return
 	}
 	p.Send((id-1)/2, b.arriveH, nil, nil)
@@ -238,6 +259,7 @@ func (b *MsgBarrier) Wait(p *machine.Proc) {
 		p.WaitAndHandle()
 	}
 	b.released[id]--
+	critBarrier(b.m, p, arriveAt)
 }
 
 // ---------------------------------------------------------------------------

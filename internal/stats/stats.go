@@ -225,6 +225,21 @@ type Summary struct {
 	Max  int64
 }
 
+// NearestRank returns the 0-based index of the nearest-rank p-quantile
+// in a sorted sample of n elements: ceil(p*n)-1, clamped to [0, n).
+// Shared by Summarize and the obs histogram percentile accessors so both
+// report the same quantile convention.
+func NearestRank(n int, p float64) int {
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 // Summarize computes a Summary of xs (the input is not modified). A
 // nil/empty input yields the zero Summary.
 func Summarize(xs []int64) Summary {
@@ -237,21 +252,11 @@ func Summarize(xs []int64) Summary {
 	for _, x := range s {
 		sum += float64(x)
 	}
-	rank := func(p float64) int64 {
-		i := int(math.Ceil(p*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(s) {
-			i = len(s) - 1
-		}
-		return s[i]
-	}
 	return Summary{
 		N:    len(s),
 		Mean: sum / float64(len(s)),
-		P50:  rank(0.50),
-		P99:  rank(0.99),
+		P50:  s[NearestRank(len(s), 0.50)],
+		P99:  s[NearestRank(len(s), 0.99)],
 		Min:  s[0],
 		Max:  s[len(s)-1],
 	}
