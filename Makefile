@@ -28,9 +28,12 @@ test:
 	$(GO) test ./...
 
 # The parallel runner and the event engine are the only concurrent code;
-# certify them under the race detector on every check.
+# certify them under the race detector on every check. The suite runs
+# real tiny-scale simulations (sharded-equivalence at three worker
+# counts, predicted-sweep validation batches) and exceeds go test's
+# 10-minute default under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race -timeout 25m ./internal/core/... ./internal/sim/...
 
 # Short fixed-budget fuzzing: random op programs against the coherence
 # protocol's directory/cache invariant checker, and random strings

@@ -32,6 +32,13 @@ func main() {
 	scaleName := flag.String("scale", "", "workload scale override (tiny, sweep, default, full)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	modelCmp := flag.Bool("model", false, "print the analytical model vs simulator comparison")
+	predictFlag := flag.Bool("predict", false, "solve the sweep figures (8, 9, 10) from one instrumented run per "+
+		"mechanism via the dependency-graph model instead of simulating every point, and print the "+
+		"predicted-vs-simulated validation matrix with -fig 4; with -model, adds the graph-vs-closed-form comparison")
+	prune := flag.Bool("prune", false, "with -predict: simulate only the base, low-confidence, and "+
+		"near-crossover points of each sweep instead of validating the whole grid")
+	predictErr := flag.Float64("predicterr", 0, "with -predict: exit nonzero if the worst "+
+		"predicted-vs-simulated error over all validated points exceeds this percentage (0 = report only)")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = all cores, 1 = serial); "+
 		"with sharded runs the per-worker budget is jobs/shards so cores are never oversubscribed")
 	shards := flag.Int("shards", 0, "per-run engine shards: 0 = auto (tiled engine with "+
@@ -80,6 +87,19 @@ func main() {
 	}
 	if *noiseSeeds < 1 {
 		log.Fatal("-noiseseeds must be at least 1")
+	}
+	if (*prune || *predictErr != 0) && !*predictFlag {
+		log.Fatal("-prune and -predicterr only apply with -predict")
+	}
+	popt := core.PredictOptions{Prune: *prune}
+	// predMax tracks the worst predicted-vs-simulated error across every
+	// predicted sweep of the invocation; -predicterr gates the exit code
+	// on it.
+	predMax := 0.0
+	notePred := func(ps *core.PredictedSweep) {
+		if m, _, _ := ps.MaxErrorPct(); m > predMax {
+			predMax = m
+		}
 	}
 
 	cfg := machine.DefaultConfig()
@@ -277,6 +297,20 @@ func main() {
 				return figures.WriteCritPathCSV(w, fig4rows)
 			})
 		}
+		if *predictFlag {
+			fmt.Fprintln(out)
+			prows, pstats, err := figures.PredFig4(out, appsToRun, scOr(core.ScaleDefault), cfg, popt)
+			check(err)
+			if pstats.MaxPct > predMax {
+				predMax = pstats.MaxPct
+			}
+			writeCSV("predicted_fig4.csv", func(w *os.File) error {
+				return figures.WritePredictedFig4CSV(w, prows)
+			})
+			writeCSV("predicted_tolerance.csv", func(w *os.File) error {
+				return figures.WriteLatencyToleranceCSV(w, prows)
+			})
+		}
 		sep()
 	}
 	if want(5) {
@@ -303,15 +337,25 @@ func main() {
 	if want(8) || want(1) {
 		ranSomething = true
 		fig8 = map[core.AppName][]core.SweepPoint{}
+		rates := []float64{0, 4, 8, 12, 14, 16}
 		for _, app := range appsToRun {
-			pts, err := figures.Fig8(out, app, scOr(core.ScaleSweep), cfg,
-				[]float64{0, 4, 8, 12, 14, 16})
-			check(err)
-			fig8[app] = pts
 			app := app
-			writeCSV(fmt.Sprintf("fig8_%s.csv", app), func(w *os.File) error {
-				return figures.WriteSweepCSV(w, "bisection_bytes_per_cycle", apps.Mechanisms, pts)
-			})
+			if *predictFlag {
+				ps, err := figures.PredFig8(out, app, scOr(core.ScaleSweep), cfg, rates, popt)
+				check(err)
+				notePred(ps)
+				fig8[app] = ps.HybridPoints()
+				writeCSV(fmt.Sprintf("predicted_fig8_%s.csv", app), func(w *os.File) error {
+					return figures.WritePredictedCSV(w, "bisection_bytes_per_cycle", apps.Mechanisms, ps)
+				})
+			} else {
+				pts, err := figures.Fig8(out, app, scOr(core.ScaleSweep), cfg, rates)
+				check(err)
+				fig8[app] = pts
+				writeCSV(fmt.Sprintf("fig8_%s.csv", app), func(w *os.File) error {
+					return figures.WriteSweepCSV(w, "bisection_bytes_per_cycle", apps.Mechanisms, pts)
+				})
+			}
 			fmt.Fprintln(out)
 		}
 		sep()
@@ -325,14 +369,23 @@ func main() {
 	}
 	if want(9) {
 		ranSomething = true
+		mhzs := []float64{20, 18, 16, 14}
 		for _, app := range appsToRun {
-			pts, err := figures.Fig9(out, app, scOr(core.ScaleSweep), cfg,
-				[]float64{20, 18, 16, 14})
-			check(err)
 			app := app
-			writeCSV(fmt.Sprintf("fig9_%s.csv", app), func(w *os.File) error {
-				return figures.WriteSweepCSV(w, "net_latency_cycles", apps.Mechanisms, pts)
-			})
+			if *predictFlag {
+				ps, err := figures.PredFig9(out, app, scOr(core.ScaleSweep), cfg, mhzs, popt)
+				check(err)
+				notePred(ps)
+				writeCSV(fmt.Sprintf("predicted_fig9_%s.csv", app), func(w *os.File) error {
+					return figures.WritePredictedCSV(w, "net_latency_cycles", apps.Mechanisms, ps)
+				})
+			} else {
+				pts, err := figures.Fig9(out, app, scOr(core.ScaleSweep), cfg, mhzs)
+				check(err)
+				writeCSV(fmt.Sprintf("fig9_%s.csv", app), func(w *os.File) error {
+					return figures.WriteSweepCSV(w, "net_latency_cycles", apps.Mechanisms, pts)
+				})
+			}
 			fmt.Fprintln(out)
 		}
 		sep()
@@ -341,15 +394,25 @@ func main() {
 	if want(10) || want(2) {
 		ranSomething = true
 		fig10 = map[core.AppName][]core.SweepPoint{}
+		lats := []int64{15, 25, 50, 100, 200}
 		for _, app := range appsToRun {
-			pts, err := figures.Fig10(out, app, scOr(core.ScaleSweep), cfg,
-				[]int64{15, 25, 50, 100, 200})
-			check(err)
-			fig10[app] = pts
 			app := app
-			writeCSV(fmt.Sprintf("fig10_%s.csv", app), func(w *os.File) error {
-				return figures.WriteSweepCSV(w, "one_way_latency_cycles", apps.Mechanisms, pts)
-			})
+			if *predictFlag {
+				ps, err := figures.PredFig10(out, app, scOr(core.ScaleSweep), cfg, lats, popt)
+				check(err)
+				notePred(ps)
+				fig10[app] = ps.HybridPoints()
+				writeCSV(fmt.Sprintf("predicted_fig10_%s.csv", app), func(w *os.File) error {
+					return figures.WritePredictedCSV(w, "one_way_latency_cycles", apps.Mechanisms, ps)
+				})
+			} else {
+				pts, err := figures.Fig10(out, app, scOr(core.ScaleSweep), cfg, lats)
+				check(err)
+				fig10[app] = pts
+				writeCSV(fmt.Sprintf("fig10_%s.csv", app), func(w *os.File) error {
+					return figures.WriteSweepCSV(w, "one_way_latency_cycles", apps.Mechanisms, pts)
+				})
+			}
 			fmt.Fprintln(out)
 		}
 		sep()
@@ -397,6 +460,15 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintln(out)
+			if *predictFlag {
+				graphErr, _, err := figures.PrintGraphVsClosedForm(out, app, scOr(core.ScaleSweep), cfg,
+					[]int64{15, 50, 100, 200})
+				check(err)
+				if graphErr.MaxPct > predMax {
+					predMax = graphErr.MaxPct
+				}
+				fmt.Fprintln(out)
+			}
 		}
 		figures.PrintLogP(out, cfg)
 		sep()
@@ -412,7 +484,19 @@ func main() {
 		os.Exit(2)
 	}
 	finishProfiles()
-	if code := report(); code != 0 {
+	code := report()
+	if *predictFlag && *predictErr > 0 {
+		verdict := "within"
+		if predMax > *predictErr {
+			verdict = "EXCEEDS"
+			if code == 0 {
+				code = 1
+			}
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: worst predicted-vs-simulated error %.1f%% %s the -predicterr bound %.1f%%\n",
+			predMax, verdict, *predictErr)
+	}
+	if code != 0 {
 		os.Exit(code)
 	}
 }

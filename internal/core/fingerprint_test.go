@@ -45,6 +45,12 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 			// TestFingerprintShards.
 			continue
 		}
+		if leaf.path == "Machine.CritEdgeCap" {
+			// Fully normalized on this base (CritPath off makes the ring
+			// capacity inert); the CritPath-on boundary is covered by
+			// TestFingerprintCritEdgeCap.
+			continue
+		}
 		mut := base
 		f := reflect.ValueOf(&mut).Elem().FieldByIndex(leaf.index)
 		perturb(t, leaf.path, f)
@@ -75,6 +81,30 @@ func TestFingerprintShards(t *testing.T) {
 	rc.Machine.Shards = -1
 	if fingerprint(rc) != serial {
 		t.Fatal("forced-serial and auto-serial runs key separately")
+	}
+}
+
+// TestFingerprintCritEdgeCap pins the edge-cap normalization: the ring
+// capacity is inert — normalized away — without the critical-path
+// profiler, and meaningful with it (the cap decides which edges the
+// cached recorder and top-edge summary retain), so instrumented runs at
+// different caps never alias while incidentally-capped plain runs do.
+func TestFingerprintCritEdgeCap(t *testing.T) {
+	rc := RunConfig{App: EM3D, Scale: ScaleTiny}
+	rc.Machine = machine.DefaultConfig()
+	plain := fingerprint(rc)
+	rc.Machine.CritEdgeCap = 1 << 17
+	if fingerprint(rc) != plain {
+		t.Fatal("edge cap without CritPath changes the key; inert configs would simulate repeatedly")
+	}
+	rc.Machine.CritPath = true
+	capped1 := fingerprint(rc)
+	if capped1 == plain {
+		t.Fatal("CritPath does not change the key; instrumented runs would alias plain ones")
+	}
+	rc.Machine.CritEdgeCap = 1 << 16
+	if fingerprint(rc) == capped1 {
+		t.Fatal("edge caps alias one memo entry under CritPath; differently-truncated edge streams would be shared")
 	}
 }
 

@@ -127,6 +127,13 @@ func fingerprint(rc RunConfig) RunConfig {
 		// Likewise, the noise seed is inert without a noise spec.
 		rc.Machine.NoiseSeed = 0
 	}
+	if !rc.Machine.CritPath {
+		// The edge-ring capacity is inert without the critical-path
+		// profiler. With it, distinct caps key separately: they change
+		// which edges the rings retain, and through them the recorder
+		// and top-edge summary a cached RunResult carries.
+		rc.Machine.CritEdgeCap = 0
+	}
 	if rc.Machine.Nodes() == BaseProcs {
 		// Weak and strong scaling coincide at the paper's machine size
 		// (the problem-growth factor is 1), so the flag is inert.

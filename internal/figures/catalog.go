@@ -34,6 +34,7 @@ func Catalog() []CatalogEntry {
 		{"-table 1", "machine configurations (printed by cmd/machines)"},
 		{"-table 2", "relative machine parameters (printed by cmd/machines -relative)"},
 		{"-model", "analytical model vs simulator comparison, plus LogP parameters"},
+		{"-predict", "dependency-graph sweep predictions for figs 4/8/9/10 from one instrumented run per mechanism (-prune simulates only low-confidence and near-crossover points)"},
 	}
 }
 

@@ -80,7 +80,7 @@ func TestCatalogListsEveryFigure(t *testing.T) {
 	want := []string{
 		"-fig 1", "-fig 2", "-fig 3", "-fig 4", "-fig 5", "-fig 6",
 		"-fig 7", "-fig 8", "-fig 9", "-fig 10", "-fig S1", "-fig S2",
-		"-table 1", "-table 2", "-model",
+		"-table 1", "-table 2", "-model", "-predict",
 	}
 	cat := Catalog()
 	if len(cat) != len(want) {

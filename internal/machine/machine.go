@@ -72,6 +72,15 @@ type Config struct {
 	// never changes simulated timing.
 	CritPath bool
 
+	// CritEdgeCap, if nonzero, overrides the per-tile causal-edge ring
+	// capacity the critical-path profiler retains (default
+	// obs.DefaultCritEdgeCap). The prediction layer raises it so the
+	// whole edge stream of an instrumented run survives as a dependency
+	// DAG; the top-edge summary in Result.CritPath only grows more exact
+	// with a larger cap. Meaningful only with CritPath. Passive like
+	// CritPath itself: it sizes an observation ring, never timing.
+	CritEdgeCap int
+
 	// FaultSpec, if nonempty, enables deterministic fault injection (see
 	// fault.Parse for the grammar). Kept as the canonical spec string —
 	// not a parsed struct — so Config stays comparable for the sweep
@@ -481,7 +490,11 @@ func New(cfg Config) *Machine {
 		}
 	}
 	if cfg.CritPath {
-		m.Crit = obs.NewCritRecorder(cfg.Nodes(), m.tileOf, obs.DefaultCritEdgeCap)
+		cap := cfg.CritEdgeCap
+		if cap <= 0 {
+			cap = obs.DefaultCritEdgeCap
+		}
+		m.Crit = obs.NewCritRecorder(cfg.Nodes(), m.tileOf, cap)
 		msys.SetCritPath(m.Crit)
 	}
 	if cfg.FaultSpec != "" {

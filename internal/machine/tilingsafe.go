@@ -25,6 +25,7 @@ var tilingSafe = map[string]string{
 	"TraceCap":             "protocol events are recorded into per-tile rings at node context and merged by timestamp after the run; passive",
 	"SpanCap":              "spans are recorded into per-tile rings by each tile's own engine observer and merged by end time after the run; passive",
 	"CritPath":             "per-node accumulator slots and per-tile edge rings are single-writer at node context, merged after the run; passive",
+	"CritEdgeCap":          "sizes the per-tile CritPath edge rings; each ring keeps a single writer and is merged after the run; passive",
 	"FaultSeed":            "meaningful only with FaultSpec, whose stochastic clauses tilingOK already forces serial",
 	"NoiseSeed":            "meaningful only with NoiseSpec, which tilingOK already forces serial",
 	"EventLimit":           "runaway-dispatch guard, not a model parameter; both engines count dispatched events",
